@@ -1,0 +1,97 @@
+//! Criterion benches over the simulator engine's hot paths: memory-
+//! controller command scheduling under each refresh policy, and the
+//! full-system step loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use refsim_core::config::SystemConfig;
+use refsim_core::system::System;
+use refsim_dram::controller::{ControllerConfig, MemoryController};
+use refsim_dram::geometry::Geometry;
+use refsim_dram::mapping::{AddressMapping, MappingScheme};
+use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::request::{MemRequest, ReqId, ReqKind};
+use refsim_dram::time::Ps;
+use refsim_dram::timing::{Density, FgrMode, RefreshTiming, Retention, TimingParams};
+use refsim_workloads::mix::WorkloadMix;
+use refsim_workloads::profiles::Benchmark;
+
+/// Drives one controller with a fixed synthetic request stream for 100 µs
+/// of simulated time.
+fn drive_controller(policy: RefreshPolicyKind) -> u64 {
+    let mapping = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+    let mut mc = MemoryController::new(
+        mapping,
+        TimingParams::ddr3_1600(),
+        RefreshTiming::scaled(Density::Gb32, Retention::Ms64, 64),
+        policy,
+        ControllerConfig::default(),
+    );
+    let mut t = Ps::ZERO;
+    let mut id = 0u64;
+    while t < Ps::from_us(100) {
+        mc.advance_to(t);
+        let paddr = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((32 << 30) - 1) & !0x3f;
+        let _ = mc.enqueue(MemRequest {
+            id: ReqId(id),
+            kind: if id % 4 == 0 { ReqKind::Write } else { ReqKind::Read },
+            paddr,
+            loc: mc.mapping().decode(paddr),
+            arrival: t,
+            core: 0,
+            task: 0,
+        });
+        id += 1;
+        t += Ps::from_ns(40);
+    }
+    mc.advance_to(t);
+    mc.stats().reads_completed
+}
+
+fn bench_controller_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    for policy in [
+        RefreshPolicyKind::NoRefresh,
+        RefreshPolicyKind::AllBank,
+        RefreshPolicyKind::PerBankRoundRobin,
+        RefreshPolicyKind::PerBankSequential,
+        RefreshPolicyKind::OooPerBank,
+        RefreshPolicyKind::Fgr(FgrMode::X4),
+        RefreshPolicyKind::Adaptive,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("100us_stream", policy.to_string()),
+            &policy,
+            |b, &p| b.iter(|| drive_controller(p)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    let mix = WorkloadMix::from_groups(
+        "bench",
+        &[(Benchmark::GemsFdtd, 2), (Benchmark::Povray, 2)],
+        "M + L",
+    );
+    for (label, co) in [("baseline", false), ("co-design", true)] {
+        let mix = mix.clone();
+        g.bench_function(BenchmarkId::new("half_window", label), move |b| {
+            b.iter(|| {
+                let mut cfg = SystemConfig::table1().with_time_scale(512);
+                if co {
+                    cfg = cfg.co_design();
+                }
+                cfg.warmup = Ps::ZERO;
+                cfg.measure = cfg.trefw() / 2;
+                System::new(cfg, &mix).run().hmean_ipc()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_controller_policies, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benches over the OS substrate's hot paths: buddy
+//! allocation, bank-aware allocation, scheduler picks, plus cache and
+//! address-mapping microbenches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use refsim_cpu::cache::{Cache, CacheConfig};
+use refsim_dram::geometry::Geometry;
+use refsim_dram::mapping::{AddressMapping, MappingScheme};
+use refsim_dram::time::Ps;
+use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
+use refsim_os::buddy::BuddyAllocator;
+use refsim_os::sched::{SchedPolicy, Scheduler};
+use refsim_os::task::{Task, TaskId};
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_1k_pages", |b| {
+        b.iter(|| {
+            let mut buddy = BuddyAllocator::new(1 << 16);
+            let frames: Vec<_> = (0..1024).map(|_| buddy.alloc(0).unwrap()).collect();
+            for f in frames {
+                buddy.free(f, 0);
+            }
+            buddy.free_frames()
+        })
+    });
+}
+
+fn bench_bank_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bank_alloc");
+    for (label, mask) in [("all_banks", u64::MAX), ("six_of_eight", 0x3F3F)] {
+        g.bench_with_input(BenchmarkId::new("1k_pages", label), &mask, |b, &m| {
+            b.iter(|| {
+                let g = Geometry::ddr3_2rank_8bank(1 << 10);
+                let map = AddressMapping::new(g, MappingScheme::RowRankBankColumn);
+                let mut alloc = BankAwareAllocator::new(map);
+                let possible = BankVector::from_iter((0..16).filter(|b| m & (1u64 << b) != 0));
+                let mut last = 15;
+                let mut acc = 0u64;
+                for _ in 0..1024 {
+                    acc += alloc.alloc_page(possible, &mut last).unwrap().frame;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    for (label, policy) in [
+        ("cfs", SchedPolicy::Cfs),
+        ("refresh_aware", SchedPolicy::refresh_aware()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("pick_cycle", label), &policy, |b, &p| {
+            b.iter(|| {
+                let mut s = Scheduler::new(p, Ps::from_ms(4), 1);
+                let mut tasks: Vec<Task> = (0..8)
+                    .map(|i| {
+                        let banks: BankVector =
+                            (0..16u32).filter(|b| b % 8 != i % 8).collect();
+                        Task::new(TaskId(i), "t", 0, banks, 16)
+                    })
+                    .collect();
+                for t in &mut tasks {
+                    s.enqueue(t);
+                }
+                let mut picked = 0u64;
+                for round in 0..256u32 {
+                    let bank = Some(round % 16);
+                    let id = s.pick_next(0, bank, &mut tasks).unwrap();
+                    picked += u64::from(id.0);
+                    s.requeue(&mut tasks[id.0 as usize], Ps::from_ms(4));
+                }
+                picked
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1_access_streaming_4k", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1_32k());
+            let mut hits = 0u64;
+            for i in 0..4096u64 {
+                if cache.access(i * 8, false).is_hit() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let map = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+    c.bench_function("address_decode_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..4096u64 {
+                let loc = map.decode(i.wrapping_mul(0x9E37_79B9) & ((32 << 30) - 1));
+                acc = acc.wrapping_add(loc.row);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_buddy,
+    bench_bank_alloc,
+    bench_scheduler,
+    bench_cache,
+    bench_mapping
+);
+criterion_main!(benches);

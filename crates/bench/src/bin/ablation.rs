@@ -1,0 +1,8 @@
+//! Ablation study: the co-design's pieces in isolation (hardware-only,
+//! software-only, η sweep, hard vs soft partitioning).
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::ablation(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,39 @@
+//! Runs the complete evaluation — every table and figure — and prints
+//! markdown suitable for EXPERIMENTS.md.
+
+use refsim_core::experiment as exp;
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let o = &cli.opts;
+    let started = std::time::Instant::now();
+    println!("# refsim — full evaluation run\n");
+    println!(
+        "time-scale 1/{}, {} workloads, {} measured window(s), seed {:#x}\n",
+        o.time_scale,
+        o.workloads.len(),
+        o.measure_windows,
+        o.seed
+    );
+    let sections: Vec<(String, Vec<refsim_core::report::Table>)> = vec![
+        ("Table 1".into(), vec![exp::table01(o)]),
+        ("Table 2".into(), vec![exp::table02(o)]),
+        ("Figure 3".into(), vec![exp::figure03(o)]),
+        ("Figure 4".into(), vec![exp::figure04(o)]),
+        ("Figure 5".into(), vec![exp::figure05()]),
+        ("Figure 10".into(), exp::figure10(o)),
+        ("Figure 11".into(), vec![exp::figure11(o)]),
+        ("Figure 12".into(), vec![exp::figure12(o)]),
+        ("Figure 13".into(), exp::figure13(o)),
+        ("Figure 14".into(), vec![exp::figure14(o)]),
+        ("Figure 15".into(), vec![exp::figure15(o)]),
+        ("Ablation".into(), vec![exp::ablation(o)]),
+    ];
+    for (name, tables) in &sections {
+        eprintln!("[{:8.1?}] {name} done", started.elapsed());
+        for t in tables {
+            println!("{}", t.to_markdown());
+        }
+    }
+    eprintln!("total: {:?}", started.elapsed());
+}

@@ -1,0 +1,51 @@
+//! Diagnostic: headline scheme comparison with per-run controller and
+//! scheduler detail — useful when tuning workload models or policies.
+//! Not part of the figure set; see `all_figures` for the evaluation.
+
+use refsim_core::experiment::{run_many, ExpOptions, Job, Scheme};
+use refsim_workloads::mix::by_name;
+
+fn main() {
+    let mut opts = ExpOptions::full();
+    if std::env::args().any(|a| a == "--quick") {
+        opts.time_scale = 128;
+        opts.measure_windows = 1;
+    }
+    let base = opts.base_config();
+    let schemes = [
+        Scheme::NoRefresh,
+        Scheme::AllBank,
+        Scheme::PerBank,
+        Scheme::OooPerBank,
+        Scheme::Adaptive,
+        Scheme::CoDesign,
+    ];
+    for wl in ["WL-1", "WL-5", "WL-8", "WL-4"] {
+        let mix = by_name(wl).unwrap();
+        let jobs: Vec<Job> = schemes
+            .iter()
+            .map(|s| Job {
+                cfg: s.apply(&base),
+                mix: mix.clone(),
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let runs = run_many(&jobs, opts.threads);
+        let ab = &runs[1];
+        println!("\n== {wl} ({}) [{:?}] ==", mix.category, t0.elapsed());
+        for (s, r) in schemes.iter().zip(&runs) {
+            println!(
+                "{:14} hmean IPC {:.4}  vs all-bank {:+.2}%  lat {:7.1} cyc  rowhit {:4.1}%  refpb {:6} refab {:5} dodges {:6} mpki {:5.1}",
+                s.label(),
+                r.hmean_ipc(),
+                (r.speedup_over(ab) - 1.0) * 100.0,
+                r.avg_read_latency_cycles(),
+                r.controller.row_hit_rate().unwrap_or(0.0) * 100.0,
+                r.controller.refreshes_pb,
+                r.controller.refreshes_ab,
+                r.sched.refresh_dodges,
+                r.mpki(),
+            );
+        }
+    }
+}

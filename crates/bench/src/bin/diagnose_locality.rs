@@ -1,0 +1,31 @@
+//! Diagnostic: row-buffer locality of the workload models, solo vs
+//! co-running (cross-task bank interference shows up as conflicts).
+use refsim_core::config::SystemConfig;
+use refsim_core::system::System;
+use refsim_workloads::mix::WorkloadMix;
+use refsim_workloads::profiles::Benchmark;
+
+fn main() {
+    let mut cfg = SystemConfig::table1().with_time_scale(512);
+    cfg.warmup = cfg.trefw() / 4;
+    cfg.measure = cfg.trefw();
+    for (label, mix) in [
+        ("stream x1", WorkloadMix::from_groups("s1", &[(Benchmark::Stream, 1)], "M")),
+        ("stream x2", WorkloadMix::from_groups("s2", &[(Benchmark::Stream, 2)], "M")),
+        ("bwaves x1", WorkloadMix::from_groups("b1", &[(Benchmark::Bwaves, 1)], "H")),
+        ("bwaves x2", WorkloadMix::from_groups("b2", &[(Benchmark::Bwaves, 2)], "H")),
+        ("mcf    x2", WorkloadMix::from_groups("m2", &[(Benchmark::Mcf, 2)], "H")),
+    ] {
+        let mut sys = System::new(cfg.clone(), &mix);
+        let m = sys.run();
+        let c = &m.controller;
+        println!(
+            "{label}: rowhit {:4.1}%  hits {:6} misses {:6} conflicts {:6}  wr_drains {:4} writes {:6} mpki {:5.2} lat {:5.1}",
+            c.row_hit_rate().unwrap_or(0.0) * 100.0,
+            c.row_hits, c.row_misses, c.row_conflicts,
+            c.write_drains, c.writes_completed,
+            m.mpki(),
+            m.avg_read_latency_cycles(),
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Energy extension: per-scheme DRAM energy breakdown (not a paper
+//! figure; see EXPERIMENTS.md's extensions section).
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::energy_table(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: performance degradation due to refresh vs the
+//! ideal no-refresh system, across densities and retention windows.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure03(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 4: IPC with tasks confined to k banks per rank and
+//! all tRFC overheads removed, normalized to the 8-bank all-bank baseline.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure04(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: percentage of each benchmark's footprint that a
+//! bank-0-first allocator can place on a single bank, per density.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure05();
+    cli.emit(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 10: per-bank refresh and the co-design vs all-bank
+//! refresh across Table 2's workloads and 16/24/32 Gb densities.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let tables = refsim_core::experiment::figure10(&cli.opts);
+    cli.emit_all(&tables);
+}

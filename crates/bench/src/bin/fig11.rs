@@ -1,0 +1,7 @@
+//! Regenerates Figure 11: average memory access latency per workload.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure11(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 12: DDR4 fine-granularity refresh (1x/2x/4x) vs
+//! the co-design.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure12(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 13: the 32 ms-retention (> 85 °C) study.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let tables = refsim_core::experiment::figure13(&cli.opts);
+    cli.emit_all(&tables);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 14: comparison with OOO per-bank refresh (Chang et
+//! al.) and Adaptive Refresh (Mukundan et al.) at 32 Gb.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure14(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 15: sensitivity to consolidation ratio, core count
+//! and DIMMs per channel.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::figure15(&cli.opts);
+    cli.emit(&t);
+}

@@ -1,0 +1,7 @@
+//! Prints Table 1: the evaluated configuration.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::table01(&cli.opts);
+    cli.emit(&t);
+}

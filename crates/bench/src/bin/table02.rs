@@ -1,0 +1,7 @@
+//! Prints Table 2: workload mixes with measured benchmark MPKIs.
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+    let t = refsim_core::experiment::table02(&cli.opts);
+    cli.emit(&t);
+}

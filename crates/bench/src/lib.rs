@@ -1,0 +1,113 @@
+//! # refsim-bench
+//!
+//! Binaries that regenerate every results table and figure of the
+//! reproduced paper (see DESIGN.md §4 for the index), plus Criterion
+//! benches over the simulator's hot paths.
+//!
+//! Every figure binary accepts:
+//!
+//! * `--quick` — 4 representative mixes, coarser time scale (smoke run);
+//! * `--scale N` — override the time-scale divisor;
+//! * `--seed N` — override the workload seed;
+//! * `--csv` — emit CSV instead of aligned text.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use refsim_core::experiment::ExpOptions;
+use refsim_core::report::Table;
+
+/// Parsed command line shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Experiment options assembled from the flags.
+    pub opts: ExpOptions,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = ExpOptions::full();
+        let mut csv = false;
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => {
+                    let threads = opts.threads;
+                    opts = ExpOptions::quick();
+                    opts.threads = threads;
+                }
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    opts.time_scale = v.parse().expect("--scale must be an integer");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    opts.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    opts.threads = v.parse().expect("--threads must be an integer");
+                }
+                "--csv" => csv = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: [--quick] [--scale N] [--seed N] [--threads N] [--csv]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        Cli { opts, csv }
+    }
+
+    /// Prints a table in the selected format.
+    pub fn emit(&self, table: &Table) {
+        if self.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+
+    /// Prints several tables.
+    pub fn emit_all<'a>(&self, tables: impl IntoIterator<Item = &'a Table>) {
+        for t in tables {
+            self.emit(t);
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let cli = Cli::from_args(
+            ["--quick", "--scale", "64", "--seed", "7", "--csv"]
+                .map(String::from),
+        );
+        assert!(cli.csv);
+        assert_eq!(cli.opts.time_scale, 64);
+        assert_eq!(cli.opts.seed, 7);
+        assert_eq!(cli.opts.workloads.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        let _ = Cli::from_args(["--bogus".to_owned()]);
+    }
+}

@@ -1,0 +1,338 @@
+//! System configuration: Table 1 presets and experiment knobs.
+
+use serde::{Deserialize, Serialize};
+
+use refsim_cpu::core::CoreConfig;
+use refsim_dram::controller::ControllerConfig;
+use refsim_dram::geometry::Geometry;
+use refsim_dram::mapping::MappingScheme;
+use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::time::Ps;
+use refsim_dram::timing::{Density, RefreshTiming, Retention, TimingParams};
+use refsim_os::partition::PartitionPlan;
+use refsim_os::sched::SchedPolicy;
+
+/// Default time-scale divisor: `tREFW` shrinks 32× (64 ms → 2 ms,
+/// quantum 4 ms → 125 µs) so experiments complete quickly while every
+/// refresh-overhead *ratio* is preserved (see DESIGN.md §2).
+pub const DEFAULT_TIME_SCALE: u32 = 32;
+
+/// Full system configuration.
+///
+/// Build one from a preset and adjust fields with the `with_*` helpers:
+///
+/// ```
+/// use refsim_core::config::SystemConfig;
+/// use refsim_dram::timing::Density;
+///
+/// let cfg = SystemConfig::table1()
+///     .with_density(Density::Gb24)
+///     .co_design();
+/// assert_eq!(cfg.density, Density::Gb24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of CPU cores.
+    pub n_cores: u32,
+    /// Memory channels.
+    pub channels: u32,
+    /// Ranks per channel (DIMMs/channel × ranks/DIMM; Table 1: 1 × 2).
+    pub ranks_per_channel: u32,
+    /// DRAM device density.
+    pub density: Density,
+    /// Retention window (64 ms below 85 °C, 32 ms above).
+    pub retention: Retention,
+    /// Refresh scheduling policy.
+    pub refresh_policy: RefreshPolicyKind,
+    /// Physical address mapping.
+    pub mapping: MappingScheme,
+    /// Memory partition plan (the software half of the co-design).
+    pub partition: PartitionPlan,
+    /// Process scheduling policy (the other software half).
+    pub sched_policy: SchedPolicy,
+    /// Time-scale divisor applied to `tREFW` and the OS quantum.
+    pub time_scale: u32,
+    /// OS scheduling quantum; `None` derives it from the refresh
+    /// schedule: `tREFW / total_banks` (4 ms at full scale — §5.1).
+    pub timeslice: Option<Ps>,
+    /// Core model parameters.
+    pub core: CoreConfig,
+    /// Memory-controller queue parameters.
+    pub controller: ControllerConfig,
+    /// Context-switch cost charged to the incoming task.
+    pub ctx_switch_cost: Ps,
+    /// Minor page-fault service cost.
+    pub fault_cost: Ps,
+    /// Warm-up duration before statistics are measured.
+    pub warmup: Ps,
+    /// Measured duration (statistics window).
+    pub measure: Ps,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 configuration at the default time scale:
+    /// dual-core 3.2 GHz, 1 channel × 2 ranks × 8 banks, DDR3-1600,
+    /// 32 Gb devices, 64 ms retention, all-bank refresh, bank-agnostic
+    /// allocation, plain CFS — i.e. the *baseline* system.
+    pub fn table1() -> Self {
+        let scale = DEFAULT_TIME_SCALE;
+        SystemConfig {
+            n_cores: 2,
+            channels: 1,
+            ranks_per_channel: 2,
+            density: Density::Gb32,
+            retention: Retention::Ms64,
+            refresh_policy: RefreshPolicyKind::AllBank,
+            mapping: MappingScheme::RowRankBankColumn,
+            partition: PartitionPlan::None,
+            sched_policy: SchedPolicy::Cfs,
+            time_scale: scale,
+            timeslice: None,
+            core: CoreConfig::table1(),
+            controller: ControllerConfig::default(),
+            ctx_switch_cost: Ps::from_ns(250),
+            fault_cost: Ps::from_ns(150),
+            warmup: Retention::Ms64.trefw() / u64::from(scale),
+            measure: Retention::Ms64.trefw() / u64::from(scale) * 2,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Switches on the full co-design: the proposed sequential per-bank
+    /// refresh schedule, soft memory partitioning, and refresh-aware
+    /// scheduling (§5).
+    pub fn co_design(mut self) -> Self {
+        self.refresh_policy = RefreshPolicyKind::PerBankSequential;
+        self.partition = PartitionPlan::Soft;
+        self.sched_policy = SchedPolicy::refresh_aware();
+        self
+    }
+
+    /// Sets the refresh policy (leaving allocation/scheduling alone).
+    pub fn with_refresh(mut self, policy: RefreshPolicyKind) -> Self {
+        self.refresh_policy = policy;
+        self
+    }
+
+    /// Sets the device density.
+    pub fn with_density(mut self, density: Density) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Sets the retention window, rescaling warm-up/measure windows to
+    /// keep covering the same number of retention windows.
+    pub fn with_retention(mut self, retention: Retention) -> Self {
+        let windows_warm = self.warmup / self.trefw();
+        let windows_meas = (self.measure / self.trefw()).max(1);
+        self.retention = retention;
+        let w = self.trefw();
+        self.warmup = w * windows_warm.max(1);
+        self.measure = w * windows_meas;
+        self
+    }
+
+    /// Sets the partition plan.
+    pub fn with_partition(mut self, plan: PartitionPlan) -> Self {
+        self.partition = plan;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched_policy = policy;
+        self
+    }
+
+    /// Sets core count.
+    pub fn with_cores(mut self, n: u32) -> Self {
+        self.n_cores = n;
+        self
+    }
+
+    /// Sets ranks per channel (2 per DIMM; §6.6 scales DIMMs/channel).
+    pub fn with_ranks(mut self, ranks: u32) -> Self {
+        self.ranks_per_channel = ranks;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the time scale, rescaling warm-up/measure windows.
+    pub fn with_time_scale(mut self, scale: u32) -> Self {
+        assert!(scale >= 1);
+        let windows_warm = (self.warmup / self.trefw()).max(1);
+        let windows_meas = (self.measure / self.trefw()).max(1);
+        self.time_scale = scale;
+        let w = self.trefw();
+        self.warmup = w * windows_warm;
+        self.measure = w * windows_meas;
+        self
+    }
+
+    /// The (scaled) retention window.
+    pub fn trefw(&self) -> Ps {
+        self.retention.trefw() / u64::from(self.time_scale)
+    }
+
+    /// DRAM geometry implied by this configuration.
+    pub fn geometry(&self) -> Geometry {
+        Geometry {
+            channels: self.channels,
+            ranks_per_channel: self.ranks_per_channel,
+            banks_per_rank: 8,
+            rows_per_bank: self.density.rows_per_bank(),
+            row_bytes: 4096,
+            line_bytes: 64,
+        }
+    }
+
+    /// Refresh timing implied by this configuration.
+    pub fn refresh_timing(&self) -> RefreshTiming {
+        RefreshTiming::scaled(self.density, self.retention, self.time_scale)
+    }
+
+    /// DDR timing parameters (DDR3-1600 per Table 1).
+    pub fn timing_params(&self) -> TimingParams {
+        TimingParams::ddr3_1600()
+    }
+
+    /// The effective scheduling quantum: explicit `timeslice`, or the
+    /// sequential refresh schedule's slice length — `tREFW / totalBanks`
+    /// when the serial one-bank-at-a-time schedule is feasible (§5.1's
+    /// 4 ms at 64 ms / 16 banks), else `tREFW / banksPerRank` for the
+    /// parallel per-rank schedule used at 32 ms retention.
+    pub fn effective_timeslice(&self) -> Ps {
+        self.timeslice.unwrap_or_else(|| {
+            let g = self.geometry();
+            self.refresh_timing()
+                .sequential_slice(g.banks_per_channel(), g.banks_per_rank)
+        })
+    }
+
+    /// Total global banks.
+    pub fn total_banks(&self) -> u32 {
+        self.geometry().total_banks()
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (zero cores,
+    /// refresh-aware scheduling over multiple channels, bad geometry…).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_cores == 0 {
+            return Err("n_cores must be >= 1".to_owned());
+        }
+        self.geometry().validate()?;
+        self.timing_params().validate()?;
+        if self.measure == Ps::ZERO {
+            return Err("measure window must be non-empty".to_owned());
+        }
+        if matches!(self.sched_policy, SchedPolicy::RefreshAware { .. }) && self.channels != 1 {
+            return Err(
+                "refresh-aware scheduling is defined per channel; use channels = 1".to_owned(),
+            );
+        }
+        if self.effective_timeslice() == Ps::ZERO {
+            return Err("timeslice must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_valid_baseline() {
+        let c = SystemConfig::table1();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.n_cores, 2);
+        assert_eq!(c.total_banks(), 16);
+        assert_eq!(c.refresh_policy, RefreshPolicyKind::AllBank);
+        assert_eq!(c.partition, PartitionPlan::None);
+    }
+
+    #[test]
+    fn timeslice_matches_refresh_slice() {
+        // Full scale: 64 ms / 16 banks = 4 ms (§5.1 = the OS quantum).
+        let c = SystemConfig::table1().with_time_scale(1);
+        assert_eq!(c.effective_timeslice(), Ps::from_ms(4));
+        // Default scale 32: 125 µs.
+        let c = SystemConfig::table1();
+        assert_eq!(c.effective_timeslice(), Ps::from_us(125));
+    }
+
+    #[test]
+    fn timeslice_4ms_at_32ms_retention() {
+        // At 32 ms retention the serial one-bank-at-a-time schedule is
+        // infeasible (tREFIab/16 < tRFCpb), so the parallel per-rank
+        // schedule is used: tREFW / banksPerRank = 4 ms slices. (The
+        // paper's footnote 12 quotes 2 ms, but that command rate cannot
+        // fit tRFCpb-long refreshes; see DESIGN.md.)
+        let c = SystemConfig::table1()
+            .with_retention(Retention::Ms32)
+            .with_time_scale(1);
+        assert_eq!(c.effective_timeslice(), Ps::from_ms(4));
+    }
+
+    #[test]
+    fn co_design_flips_all_three_pieces() {
+        let c = SystemConfig::table1().co_design();
+        assert_eq!(c.refresh_policy, RefreshPolicyKind::PerBankSequential);
+        assert_eq!(c.partition, PartitionPlan::Soft);
+        assert!(matches!(c.sched_policy, SchedPolicy::RefreshAware { .. }));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn retention_change_rescales_windows() {
+        let c = SystemConfig::table1();
+        let w64 = c.trefw();
+        assert_eq!(c.warmup, w64);
+        assert_eq!(c.measure, w64 * 2);
+        let c32 = c.with_retention(Retention::Ms32);
+        assert_eq!(c32.warmup, c32.trefw());
+        assert_eq!(c32.measure, c32.trefw() * 2);
+        assert_eq!(c32.trefw(), w64 / 2);
+    }
+
+    #[test]
+    fn more_dimms_mean_more_banks() {
+        let c = SystemConfig::table1().with_ranks(4);
+        assert_eq!(c.total_banks(), 32);
+        // With 32 banks the serial schedule is infeasible (tREFIab/32 <
+        // tRFCpb), so the parallel per-rank schedule's tREFW/8 slices
+        // set the quantum.
+        assert_eq!(c.effective_timeslice(), c.trefw() / 8);
+    }
+
+    #[test]
+    fn validate_catches_multichannel_refresh_aware() {
+        let mut c = SystemConfig::table1().co_design();
+        c.channels = 2;
+        assert!(c.validate().unwrap_err().contains("channel"));
+    }
+
+    #[test]
+    fn geometry_scales_with_density() {
+        let c = SystemConfig::table1().with_density(Density::Gb16);
+        assert_eq!(c.geometry().rows_per_bank, 256 * 1024);
+        assert_eq!(c.geometry().total_bytes(), 16 << 30);
+    }
+}

@@ -1,0 +1,24 @@
+//! # refsim-core
+//!
+//! The co-design itself: system composition (cores ⇄ caches ⇄ memory
+//! controller ⇄ OS), Table 1 configuration presets, run metrics, and the
+//! experiment harness that regenerates every figure of *"Hardware-
+//! Software Co-design to Mitigate DRAM Refresh Overheads"* (ASPLOS'17).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod system;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::config::SystemConfig;
+    pub use crate::experiment::{ExpOptions, Job, Scheme};
+    pub use crate::metrics::{gmean, RunMetrics, TaskMetrics};
+    pub use crate::report::Table;
+    pub use crate::system::System;
+}

@@ -1,0 +1,258 @@
+//! Run metrics: per-task IPC, harmonic means, and the paper's reporting
+//! conventions (§6.1: "performance improvements reported … are the
+//! improvements in harmonic mean of the IPC of the workload relative to
+//! the baseline").
+
+use serde::{Deserialize, Serialize};
+
+use refsim_dram::power::{energy, EnergyBreakdown, PowerParams};
+use refsim_dram::stats::ControllerStats;
+use refsim_dram::time::Ps;
+use refsim_os::sched::SchedStats;
+
+/// Measured-phase statistics for one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskMetrics {
+    /// Task index within the workload.
+    pub task: u32,
+    /// Benchmark label.
+    pub label: String,
+    /// Instructions retired during the measured phase.
+    pub instructions: u64,
+    /// Time the task occupied a CPU.
+    pub cpu_time: Ps,
+    /// Of that, time stalled on memory.
+    pub stall_time: Ps,
+    /// LLC misses issued.
+    pub llc_misses: u64,
+    /// Demand page faults taken.
+    pub faults: u64,
+    /// Pages placed outside the task's permitted banks.
+    pub spilled_pages: u64,
+    /// Times the task was scheduled.
+    pub schedules: u64,
+}
+
+impl TaskMetrics {
+    /// Instructions per CPU cycle *while scheduled* — the per-task IPC
+    /// the harmonic mean aggregates.
+    pub fn ipc(&self, cpu_period: Ps) -> f64 {
+        if self.cpu_time == Ps::ZERO {
+            return 0.0;
+        }
+        let cycles = self.cpu_time.as_ps() as f64 / cpu_period.as_ps() as f64;
+        self.instructions as f64 / cycles
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.llc_misses as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Fraction of scheduled time spent stalled on memory.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cpu_time == Ps::ZERO {
+            return 0.0;
+        }
+        self.stall_time.as_ps() as f64 / self.cpu_time.as_ps() as f64
+    }
+}
+
+/// Statistics for one complete simulation run (measured phase only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-task metrics, in task order.
+    pub tasks: Vec<TaskMetrics>,
+    /// Length of the measured window.
+    pub sim_time: Ps,
+    /// Channel-0 controller counters (merged across channels when
+    /// several exist).
+    pub controller: ControllerStats,
+    /// Scheduler counters.
+    pub sched: SchedStats,
+    /// CPU clock period (for IPC computation).
+    pub cpu_period: Ps,
+    /// DRAM clock period (for latency-in-memory-cycles reporting).
+    pub dram_period: Ps,
+}
+
+impl RunMetrics {
+    /// Harmonic mean of per-task IPCs — the paper's headline metric.
+    pub fn hmean_ipc(&self) -> f64 {
+        let n = self.tasks.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let denom: f64 = self
+            .tasks
+            .iter()
+            .map(|t| 1.0 / t.ipc(self.cpu_period).max(1e-12))
+            .sum();
+        n as f64 / denom
+    }
+
+    /// Arithmetic-mean IPC (secondary diagnostic).
+    pub fn amean_ipc(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks
+            .iter()
+            .map(|t| t.ipc(self.cpu_period))
+            .sum::<f64>()
+            / self.tasks.len() as f64
+    }
+
+    /// Speedup of this run's harmonic-mean IPC over `baseline`'s
+    /// (1.0 = parity; the figures plot this normalized value).
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        let b = baseline.hmean_ipc();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        self.hmean_ipc() / b
+    }
+
+    /// Average DRAM read latency in memory cycles (Figure 11's metric).
+    pub fn avg_read_latency_cycles(&self) -> f64 {
+        self.controller
+            .avg_read_latency_cycles(self.dram_period)
+            .unwrap_or(0.0)
+    }
+
+    /// DRAM energy breakdown over the measured window under `params`.
+    pub fn energy(&self, params: &PowerParams) -> EnergyBreakdown {
+        energy(&self.controller, self.sim_time, params)
+    }
+
+    /// Energy per kilo-instruction (nJ) — the efficiency metric where
+    /// faster schemes win through reduced background energy.
+    pub fn energy_per_kilo_instruction(&self, params: &PowerParams) -> f64 {
+        let instr: u64 = self.tasks.iter().map(|t| t.instructions).sum();
+        if instr == 0 {
+            return 0.0;
+        }
+        self.energy(params).total_nj() * 1000.0 / instr as f64
+    }
+
+    /// Aggregate MPKI over all tasks.
+    pub fn mpki(&self) -> f64 {
+        let instr: u64 = self.tasks.iter().map(|t| t.instructions).sum();
+        let misses: u64 = self.tasks.iter().map(|t| t.llc_misses).sum();
+        if instr == 0 {
+            0.0
+        } else {
+            misses as f64 * 1000.0 / instr as f64
+        }
+    }
+}
+
+/// Geometric mean of an iterator of positive values (used when averaging
+/// normalized speedups across workloads).
+pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        assert!(v > 0.0, "gmean needs positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / f64::from(n)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tm(instr: u64, cpu_ms: u64) -> TaskMetrics {
+        TaskMetrics {
+            task: 0,
+            label: "t".into(),
+            instructions: instr,
+            cpu_time: Ps::from_ms(cpu_ms),
+            stall_time: Ps::ZERO,
+            llc_misses: 0,
+            faults: 0,
+            spilled_pages: 0,
+            schedules: 1,
+        }
+    }
+
+    fn run(tasks: Vec<TaskMetrics>) -> RunMetrics {
+        RunMetrics {
+            tasks,
+            sim_time: Ps::from_ms(4),
+            controller: ControllerStats::default(),
+            sched: SchedStats::default(),
+            cpu_period: Ps::from_ps(312),
+            dram_period: Ps::from_ps(1250),
+        }
+    }
+
+    #[test]
+    fn ipc_is_per_scheduled_cycle() {
+        let t = tm(3_205_128, 1); // 1 ms at 312 ps = 3.205M cycles
+        let ipc = t.ipc(Ps::from_ps(312));
+        assert!((ipc - 1.0).abs() < 1e-3, "{ipc}");
+    }
+
+    #[test]
+    fn zero_cpu_time_gives_zero_ipc() {
+        let t = tm(100, 0);
+        assert_eq!(t.ipc(Ps::from_ps(312)), 0.0);
+    }
+
+    #[test]
+    fn hmean_punishes_slow_tasks() {
+        // IPCs 2.0 and ~0.667: hmean = 1.0, amean ≈ 1.33.
+        let fast = tm(6_410_256, 1);
+        let slow = tm(2_136_752, 1);
+        let r = run(vec![fast, slow]);
+        assert!((r.hmean_ipc() - 1.0).abs() < 2e-3, "{}", r.hmean_ipc());
+        assert!(r.amean_ipc() > r.hmean_ipc());
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_hmeans() {
+        let base = run(vec![tm(1_000_000, 1)]);
+        let better = run(vec![tm(1_162_000, 1)]);
+        let s = better.speedup_over(&base);
+        assert!((s - 1.162).abs() < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn stall_fraction_and_mpki() {
+        let mut t = tm(1_000_000, 2);
+        t.stall_time = Ps::from_ms(1);
+        t.llc_misses = 25_000;
+        assert!((t.stall_fraction() - 0.5).abs() < 1e-12);
+        assert!((t.mpki() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(gmean(std::iter::empty()), 0.0);
+        assert!((gmean([1.05, 1.05, 1.05]) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_nonpositive() {
+        let _ = gmean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let r = run(vec![]);
+        assert_eq!(r.hmean_ipc(), 0.0);
+        assert_eq!(r.amean_ipc(), 0.0);
+        assert_eq!(r.mpki(), 0.0);
+    }
+}

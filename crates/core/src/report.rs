@@ -1,0 +1,288 @@
+//! Plain-text / markdown / CSV tables for experiment output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular results table with a title and column headers.
+///
+/// # Examples
+///
+/// ```
+/// use refsim_core::report::Table;
+///
+/// let mut t = Table::new("Figure X", ["workload", "speedup"]);
+/// t.push(["WL-1", "1.162"]);
+/// assert!(t.to_markdown().contains("| WL-1 | 1.162 |"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new<H: Into<String>>(title: impl Into<String>, headers: impl IntoIterator<Item = H>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn push<C: Into<String>>(&mut self, row: impl IntoIterator<Item = C>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Formats a float cell with 3 decimals.
+    pub fn fmt_f(v: f64) -> String {
+        format!("{v:.3}")
+    }
+
+    /// Formats a percentage cell with 1 decimal.
+    pub fn fmt_pct(v: f64) -> String {
+        format!("{v:.1}%")
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {}\n\n", self.title);
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        s
+    }
+
+    /// Renders as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let mut s = self
+            .headers
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl Table {
+    /// Renders an ASCII horizontal bar chart of one numeric column,
+    /// labeled by the first column — a terminal-friendly stand-in for
+    /// the paper's bar figures.
+    ///
+    /// Cells that fail to parse as numbers (after stripping a trailing
+    /// `%`) are skipped. `width` is the maximum bar length in
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range or `width` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use refsim_core::report::Table;
+    ///
+    /// let mut t = Table::new("Speedups", ["wl", "speedup"]);
+    /// t.push(["WL-1", "1.10"]);
+    /// t.push(["WL-2", "1.05"]);
+    /// let chart = t.bar_chart(1, 20);
+    /// assert!(chart.contains("WL-1"));
+    /// assert!(chart.contains('#'));
+    /// ```
+    pub fn bar_chart(&self, col: usize, width: usize) -> String {
+        assert!(col < self.headers.len(), "column {col} out of range");
+        assert!(width > 0, "chart width must be positive");
+        let parse = |cell: &str| cell.trim().trim_end_matches('%').parse::<f64>().ok();
+        let values: Vec<(usize, f64)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| parse(&r[col]).map(|v| (i, v)))
+            .collect();
+        let max = values
+            .iter()
+            .map(|&(_, v)| v.abs())
+            .fold(0.0f64, f64::max);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r[0].len())
+            .max()
+            .unwrap_or(0)
+            .max(self.headers[0].len());
+        let mut out = format!("{} — {}
+", self.title, self.headers[col]);
+        for (i, v) in values {
+            let bar_len = if max == 0.0 {
+                0
+            } else {
+                ((v.abs() / max) * width as f64).round() as usize
+            };
+            out.push_str(&format!(
+                "{:<label_w$}  {:>8}  {}
+",
+                self.rows[i][0],
+                self.rows[i][col],
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    /// Column-aligned plain text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T", ["a", "b"]);
+        t.push(["x", "1"]);
+        t.push(["longer", "2"]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let out = sample().to_string();
+        assert!(out.contains("== T =="));
+        let lines: Vec<&str> = out.lines().collect();
+        // 'a' header padded to width of 'longer'.
+        assert!(lines[1].starts_with("a       "));
+    }
+
+    #[test]
+    fn markdown_and_csv() {
+        let t = sample();
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| longer | 2 |"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next(), Some("a,b"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("q", ["v"]);
+        t.push(["a,b"]);
+        t.push(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T", ["a", "b"]);
+        t.push(["only-one"]);
+    }
+
+    #[test]
+    fn bar_chart_scales_and_labels() {
+        let mut t = Table::new("S", ["wl", "v"]);
+        t.push(["a", "2.0"]);
+        t.push(["bb", "1.0"]);
+        t.push(["c", "not-a-number"]);
+        let chart = t.bar_chart(1, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 numeric rows");
+        assert!(lines[1].contains(&"#".repeat(10)), "max value gets full width");
+        assert!(lines[2].contains(&"#".repeat(5)), "half value gets half width");
+        assert!(!chart.contains("not-a-number"));
+    }
+
+    #[test]
+    fn bar_chart_parses_percent_cells() {
+        let mut t = Table::new("S", ["d", "deg"]);
+        t.push(["x", "17.2%"]);
+        t.push(["y", "8.6%"]);
+        let chart = t.bar_chart(1, 8);
+        assert!(chart.contains("17.2%"));
+        assert!(chart.lines().nth(1).unwrap().matches('#').count() == 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bar_chart_rejects_bad_column() {
+        let _ = sample().bar_chart(5, 10);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(Table::fmt_f(1.23456), "1.235");
+        assert_eq!(Table::fmt_pct(16.24), "16.2%");
+        assert!(sample().len() == 2 && !sample().is_empty());
+    }
+}

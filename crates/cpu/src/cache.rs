@@ -1,0 +1,382 @@
+//! Set-associative, write-back/write-allocate cache with LRU replacement.
+//!
+//! Caches here are *tag stores* only — the simulator tracks which lines
+//! are resident and dirty, not their data. Allocation happens immediately
+//! on miss (the fill's timing is modeled by the core/memory simulation,
+//! not the tag store).
+
+use serde::{Deserialize, Serialize};
+
+/// Cache shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1: 32 KiB, 4-way, 64 B lines.
+    pub const fn l1_32k() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// The paper's per-core L2: 1 MiB, 16-way, 64 B lines.
+    pub const fn l2_1m() -> Self {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.ways) * u64::from(self.line_bytes))
+    }
+
+    /// Checks shape invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any count is zero, not a power of two where
+    /// required, or the capacity is not an exact multiple of `ways ×
+    /// line_bytes`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ways == 0 || self.line_bytes == 0 || self.size_bytes == 0 {
+            return Err("cache dimensions must be non-zero".to_owned());
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line_bytes must be a power of two".to_owned());
+        }
+        let per_set = u64::from(self.ways) * u64::from(self.line_bytes);
+        if self.size_bytes % per_set != 0 {
+            return Err("size must be a multiple of ways × line".to_owned());
+        }
+        if !self.sets().is_power_of_two() {
+            return Err("set count must be a power of two".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was resident.
+    Hit,
+    /// The line was not resident; it has been allocated. If a dirty
+    /// victim was evicted, its line-aligned address is returned for
+    /// writeback.
+    Miss {
+        /// Dirty victim to write back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl Lookup {
+    /// Whether this was a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit)
+    }
+}
+
+/// Per-cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty victims written back.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio, or `None` with no accesses.
+    pub fn miss_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.misses as f64 / total as f64)
+        }
+    }
+}
+
+/// A physically indexed, physically tagged cache tag store.
+///
+/// # Examples
+///
+/// ```
+/// use refsim_cpu::cache::{Cache, CacheConfig, Lookup};
+///
+/// let mut c = Cache::new(CacheConfig::l1_32k());
+/// assert!(matches!(c.access(0x1000, false), Lookup::Miss { .. }));
+/// assert_eq!(c.access(0x1000, false), Lookup::Hit);
+/// assert_eq!(c.access(0x1004, false), Lookup::Hit); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets × ways, row-major by set
+    set_mask: u64,
+    offset_bits: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid cache config: {e}"));
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            lines: vec![Line::default(); (sets * u64::from(cfg.ways)) as usize],
+            set_mask: sets - 1,
+            offset_bits: cfg.line_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Zeroes counters (cache contents are preserved — warm-up boundary).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Line-aligns an address.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.offset_bits << self.offset_bits
+    }
+
+    /// Looks up `addr`, allocating on miss (write-allocate); `write`
+    /// marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
+        self.tick += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.cfg.ways as usize;
+        let ways = &mut self.lines[base..base + self.cfg.ways as usize];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.tick;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+
+        self.stats.misses += 1;
+        // Victim: invalid way first, else LRU.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
+            .map(|(i, _)| i)
+            .expect("ways is non-empty");
+        let old = ways[victim];
+        ways[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            stamp: self.tick,
+        };
+        let writeback = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            Some(self.rebuild_addr(old.tag, set as u64))
+        } else {
+            None
+        };
+        Lookup::Miss { writeback }
+    }
+
+    /// Whether `addr`'s line is resident (no LRU update, no allocation).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.cfg.ways as usize;
+        self.lines[base..base + self.cfg.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates `addr`'s line if resident, returning its address if it
+    /// was dirty (back-invalidation from an inclusive outer level).
+    pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        let (set, tag) = self.index(addr);
+        let base = set * self.cfg.ways as usize;
+        for l in &mut self.lines[base..base + self.cfg.ways as usize] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                if l.dirty {
+                    return Some(self.rebuild_addr(tag, set as u64));
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.offset_bits;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    fn rebuild_addr(&self, tag: u64, set: u64) -> u64 {
+        ((tag << self.set_mask.count_ones()) | set) << self.offset_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_shapes() {
+        let l1 = CacheConfig::l1_32k();
+        assert_eq!(l1.sets(), 128);
+        assert!(l1.validate().is_ok());
+        let l2 = CacheConfig::l2_1m();
+        assert_eq!(l2.sets(), 1024);
+        assert!(l2.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CacheConfig::l1_32k();
+        c.line_bytes = 48;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::l1_32k();
+        c.ways = 0;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::l1_32k();
+        c.size_bytes = 33 * 1024 + 7;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hit_after_fill_and_line_granularity() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        assert!(!c.access(0x1000, false).is_hit());
+        assert!(c.access(0x1000, false).is_hit());
+        assert!(c.access(0x103f, false).is_hit());
+        assert!(!c.access(0x1040, false).is_hit());
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Direct-mapped-ish scenario: fill all 4 ways of one set, touch
+        // way 0 again, then force an eviction — way 1 must go.
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        let set_stride = 128 * 64; // sets × line
+        let a = |i: u64| i * set_stride; // all map to set 0
+        for i in 0..4 {
+            c.access(a(i), false);
+        }
+        c.access(a(0), false); // refresh way holding a(0)
+        c.access(a(4), false); // evicts a(1)
+        assert!(c.probe(a(0)));
+        assert!(!c.probe(a(1)));
+        assert!(c.probe(a(4)));
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        let set_stride = 128 * 64;
+        c.access(0, true); // dirty
+        for i in 1..=4u64 {
+            let r = c.access(i * set_stride, false);
+            if i == 4 {
+                match r {
+                    Lookup::Miss { writeback } => assert_eq!(writeback, Some(0)),
+                    Lookup::Hit => panic!("expected miss"),
+                }
+            }
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        let set_stride = 128 * 64;
+        for i in 0..5u64 {
+            match c.access(i * set_stride, false) {
+                Lookup::Miss { writeback } => assert_eq!(writeback, None),
+                Lookup::Hit => panic!("unexpected hit"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_address() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        c.access(0x2000, true);
+        assert_eq!(c.invalidate(0x2000), Some(0x2000));
+        assert!(!c.probe(0x2000));
+        c.access(0x3000, false);
+        assert_eq!(c.invalidate(0x3000), None);
+        assert_eq!(c.invalidate(0x4000), None); // not resident
+    }
+
+    #[test]
+    fn rebuild_addr_roundtrips_through_eviction() {
+        let mut c = Cache::new(CacheConfig::l2_1m());
+        let addr = 0xdead_beef_c0u64 & !0x3f;
+        c.access(addr, true);
+        // Evict by filling the set.
+        let set_stride = 1024 * 64;
+        let mut wb = None;
+        for i in 1..=16u64 {
+            if let Lookup::Miss { writeback: Some(w) } = c.access(addr + i * set_stride, false) {
+                wb = Some(w);
+            }
+        }
+        assert_eq!(wb, Some(addr));
+    }
+
+    #[test]
+    fn miss_rate_reporting() {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        assert_eq!(c.stats().miss_rate(), None);
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_rate(), Some(0.5));
+        c.reset_stats();
+        assert_eq!(c.stats().miss_rate(), None);
+        assert!(c.probe(0), "reset_stats must not drop contents");
+    }
+}

@@ -1,0 +1,26 @@
+//! # refsim-cpu
+//!
+//! Processor-side substrate for refsim: an analytical out-of-order core
+//! timing model ([`core`]) and a two-level private cache hierarchy
+//! ([`cache`], [`hierarchy`]) matching the configuration in Table 1 of
+//! the reproduced paper (3.2 GHz 8-wide cores, 128-entry ROB, 32 KiB L1,
+//! 1 MiB-per-core L2, 64 B lines).
+//!
+//! The core model deliberately abstracts the pipeline: DRAM-refresh
+//! experiments are sensitive to *memory stall time*, which the interval
+//! model captures (bounded MLP, ROB-fill stalls, serializing dependent
+//! loads), not to fetch/decode detail.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod core;
+pub mod hierarchy;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
+    pub use crate::core::{CoreConfig, ExecContext, StallReason};
+    pub use crate::hierarchy::{CacheHierarchy, HierOutcome, HierStats};
+}

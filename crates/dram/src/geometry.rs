@@ -1,0 +1,329 @@
+//! DRAM topology: channels, DIMMs, ranks, banks, rows and columns.
+//!
+//! The geometry mirrors Figure 1 of the paper: each memory controller
+//! drives one *channel*; a channel holds one or more *DIMMs*; each DIMM
+//! holds *ranks*; each rank holds *banks*; each bank is a 2-D array of
+//! *rows* (one DRAM page, typically 4 KiB) by *columns* (cache lines).
+//!
+//! # Examples
+//!
+//! ```
+//! use refsim_dram::geometry::Geometry;
+//!
+//! let g = Geometry::ddr3_2rank_8bank(512 * 1024); // 32 Gb devices
+//! assert_eq!(g.banks_per_channel(), 16);
+//! assert_eq!(g.bank_bytes(), 512 * 1024 * 4096);
+//! assert_eq!(g.total_bytes(), 2 * 8 * 512 * 1024 * 4096);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a bank within a single channel: `(rank, bank)`.
+///
+/// This is the unit at which per-bank refresh operates and the unit the
+/// co-design exposes to the OS ("the bank that will be refreshed next").
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BankId {
+    /// Rank index within the channel.
+    pub rank: u8,
+    /// Bank index within the rank.
+    pub bank: u8,
+}
+
+impl BankId {
+    /// Creates a bank id.
+    pub const fn new(rank: u8, bank: u8) -> Self {
+        BankId { rank, bank }
+    }
+
+    /// Flat index of this bank in `[0, ranks * banks_per_rank)`, ordered
+    /// rank-major — the indexing used by Algorithm 1's `refreshBankIdx`.
+    pub fn flat(self, banks_per_rank: u32) -> u32 {
+        u32::from(self.rank) * banks_per_rank + u32::from(self.bank)
+    }
+
+    /// Inverse of [`BankId::flat`].
+    pub fn from_flat(flat: u32, banks_per_rank: u32) -> Self {
+        BankId {
+            rank: (flat / banks_per_rank) as u8,
+            bank: (flat % banks_per_rank) as u8,
+        }
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}b{}", self.rank, self.bank)
+    }
+}
+
+/// A fully decoded DRAM location for one cache-line request.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u8,
+    /// Rank index within the channel.
+    pub rank: u8,
+    /// Bank index within the rank.
+    pub bank: u8,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column index (cache line within the row).
+    pub col: u32,
+}
+
+impl Location {
+    /// The `(rank, bank)` part of the location.
+    pub fn bank_id(&self) -> BankId {
+        BankId::new(self.rank, self.bank)
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/r{}b{}/row{:#x}/col{}",
+            self.channel, self.rank, self.bank, self.row, self.col
+        )
+    }
+}
+
+/// Physical organization of the memory system.
+///
+/// All counts must be powers of two so that address fields map to bit
+/// ranges; [`Geometry::validate`] enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of independent channels (memory controllers).
+    pub channels: u32,
+    /// Ranks per channel (DIMMs × ranks/DIMM).
+    pub ranks_per_channel: u32,
+    /// Banks per rank (8 for DDR3).
+    pub banks_per_rank: u32,
+    /// Rows per bank; scales with device density (Table 1: 256K/384K/512K
+    /// for 16/24/32 Gb — 384K is rounded up to 512K-compatible mapping by
+    /// using a 19-bit row field with only 384K valid rows).
+    pub rows_per_bank: u32,
+    /// Bytes per row (DRAM page), 4 KiB in Table 1.
+    pub row_bytes: u32,
+    /// Bytes per cache line / memory burst (64 B).
+    pub line_bytes: u32,
+}
+
+impl Geometry {
+    /// The paper's default: 1 channel, 1 DIMM, 2 ranks, 8 banks/rank,
+    /// 4 KiB rows, 64 B lines, with the given `rows_per_bank`.
+    pub const fn ddr3_2rank_8bank(rows_per_bank: u32) -> Self {
+        Geometry {
+            channels: 1,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            rows_per_bank,
+            row_bytes: 4096,
+            line_bytes: 64,
+        }
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: all counts
+    /// must be non-zero, and every count except `rows_per_bank` must be a
+    /// power of two (row counts like 384 Ki are allowed; the row field is
+    /// sized by `next_power_of_two`).
+    pub fn validate(&self) -> Result<(), String> {
+        let pow2 = |v: u32, name: &str| -> Result<(), String> {
+            if v == 0 {
+                Err(format!("{name} must be non-zero"))
+            } else if !v.is_power_of_two() {
+                Err(format!("{name} must be a power of two, got {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        pow2(self.channels, "channels")?;
+        pow2(self.ranks_per_channel, "ranks_per_channel")?;
+        pow2(self.banks_per_rank, "banks_per_rank")?;
+        pow2(self.row_bytes, "row_bytes")?;
+        pow2(self.line_bytes, "line_bytes")?;
+        if self.rows_per_bank == 0 {
+            return Err("rows_per_bank must be non-zero".to_owned());
+        }
+        if self.line_bytes > self.row_bytes {
+            return Err("line_bytes must not exceed row_bytes".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Banks per channel across all ranks.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Total banks in the system.
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel()
+    }
+
+    /// Cache lines per row.
+    pub fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Capacity of one bank in bytes.
+    pub fn bank_bytes(&self) -> u64 {
+        u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
+    }
+
+    /// Capacity of one rank in bytes.
+    pub fn rank_bytes(&self) -> u64 {
+        self.bank_bytes() * u64::from(self.banks_per_rank)
+    }
+
+    /// Total system capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.rank_bytes() * u64::from(self.ranks_per_channel) * u64::from(self.channels)
+    }
+
+    /// Number of physical 4 KiB-row-sized frames... see `frame` docs in
+    /// `refsim-os`; here: total cache lines in the system.
+    pub fn total_lines(&self) -> u64 {
+        self.total_bytes() / u64::from(self.line_bytes)
+    }
+
+    /// Bits needed for the column (line-within-row) field.
+    pub fn col_bits(&self) -> u32 {
+        self.lines_per_row().trailing_zeros()
+    }
+
+    /// Bits needed for the bank field.
+    pub fn bank_bits(&self) -> u32 {
+        self.banks_per_rank.trailing_zeros()
+    }
+
+    /// Bits needed for the rank field.
+    pub fn rank_bits(&self) -> u32 {
+        self.ranks_per_channel.trailing_zeros()
+    }
+
+    /// Bits needed for the channel field.
+    pub fn channel_bits(&self) -> u32 {
+        self.channels.trailing_zeros()
+    }
+
+    /// Bits needed for the row field (rounded up for non-power-of-two row
+    /// counts such as 384 Ki).
+    pub fn row_bits(&self) -> u32 {
+        self.rows_per_bank.next_power_of_two().trailing_zeros()
+    }
+
+    /// Bits of the line-offset field (byte within cache line).
+    pub fn offset_bits(&self) -> u32 {
+        self.line_bytes.trailing_zeros()
+    }
+
+    /// Iterates over every `(rank, bank)` id in the channel, rank-major.
+    pub fn bank_ids(&self) -> impl Iterator<Item = BankId> + '_ {
+        let banks = self.banks_per_rank;
+        (0..self.ranks_per_channel)
+            .flat_map(move |r| (0..banks).map(move |b| BankId::new(r as u8, b as u8)))
+    }
+}
+
+impl Default for Geometry {
+    /// 32 Gb devices (512 Ki rows/bank) in the paper's 2-rank, 8-bank
+    /// single-channel configuration.
+    fn default() -> Self {
+        Geometry::ddr3_2rank_8bank(512 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_32gb() {
+        let g = Geometry::default();
+        assert_eq!(g.channels, 1);
+        assert_eq!(g.ranks_per_channel, 2);
+        assert_eq!(g.banks_per_rank, 8);
+        assert_eq!(g.rows_per_bank, 512 * 1024);
+        assert_eq!(g.row_bytes, 4096);
+        assert!(g.validate().is_ok());
+        // 2 GiB per bank, 16 GiB per rank, 32 GiB total.
+        assert_eq!(g.bank_bytes(), 2 << 30);
+        assert_eq!(g.rank_bytes(), 16 << 30);
+        assert_eq!(g.total_bytes(), 32 << 30);
+    }
+
+    #[test]
+    fn bit_field_widths() {
+        let g = Geometry::default();
+        assert_eq!(g.offset_bits(), 6);
+        assert_eq!(g.col_bits(), 6); // 64 lines per 4 KiB row
+        assert_eq!(g.bank_bits(), 3);
+        assert_eq!(g.rank_bits(), 1);
+        assert_eq!(g.channel_bits(), 0);
+        assert_eq!(g.row_bits(), 19);
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2() {
+        let mut g = Geometry::default();
+        g.banks_per_rank = 6;
+        assert!(g.validate().unwrap_err().contains("banks_per_rank"));
+        let mut g = Geometry::default();
+        g.channels = 0;
+        assert!(g.validate().is_err());
+        let mut g = Geometry::default();
+        g.line_bytes = 8192;
+        assert!(g.validate().unwrap_err().contains("line_bytes"));
+    }
+
+    #[test]
+    fn non_pow2_rows_allowed_24gb() {
+        let g = Geometry::ddr3_2rank_8bank(384 * 1024); // 24 Gb
+        assert!(g.validate().is_ok());
+        assert_eq!(g.row_bits(), 19); // rounded up to 512 Ki field
+    }
+
+    #[test]
+    fn bank_id_flat_roundtrip() {
+        let g = Geometry::default();
+        for id in g.bank_ids() {
+            let f = id.flat(g.banks_per_rank);
+            assert_eq!(BankId::from_flat(f, g.banks_per_rank), id);
+        }
+    }
+
+    #[test]
+    fn bank_ids_is_rank_major_and_complete() {
+        let g = Geometry::default();
+        let ids: Vec<_> = g.bank_ids().collect();
+        assert_eq!(ids.len(), 16);
+        assert_eq!(ids[0], BankId::new(0, 0));
+        assert_eq!(ids[7], BankId::new(0, 7));
+        assert_eq!(ids[8], BankId::new(1, 0));
+        assert_eq!(ids[15], BankId::new(1, 7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BankId::new(1, 5).to_string(), "r1b5");
+        let loc = Location {
+            channel: 0,
+            rank: 1,
+            bank: 2,
+            row: 0x10,
+            col: 3,
+        };
+        assert_eq!(loc.to_string(), "ch0/r1b2/row0x10/col3");
+        assert_eq!(loc.bank_id(), BankId::new(1, 2));
+    }
+}

@@ -1,0 +1,183 @@
+//! DRAM energy accounting.
+//!
+//! A simplified Micron-style power model evaluated *post hoc* over
+//! [`ControllerStats`](crate::stats::ControllerStats): each command class
+//! carries a per-event energy, plus a background power proportional to
+//! elapsed time. Absolute values are representative DDR3-1600 numbers
+//! (1.5 V, x8 devices) — the model's purpose is *relative* comparison of
+//! refresh policies: all policies refresh the same number of rows per
+//! retention window, so their refresh energy is nearly equal, and the
+//! schemes differentiate through background energy (how long the
+//! workload takes) — which is exactly the argument energy-oriented
+//! refresh papers (e.g. Coordinated Refresh, §7) build on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::ControllerStats;
+use crate::time::Ps;
+use crate::timing::Density;
+
+/// Per-event energies (nanojoules) and background power (milliwatts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Energy of one ACT + PRE pair (row cycle).
+    pub e_act_pre_nj: f64,
+    /// Energy of one 64 B read burst (I/O + array).
+    pub e_rd_nj: f64,
+    /// Energy of one 64 B write burst.
+    pub e_wr_nj: f64,
+    /// Energy of one all-bank refresh command (per rank; covers one row
+    /// bundle in every bank).
+    pub e_ref_ab_nj: f64,
+    /// Energy of one per-bank refresh command (same bundle, one bank).
+    pub e_ref_pb_nj: f64,
+    /// Background (standby + peripheral) power for the whole channel.
+    pub background_mw: f64,
+}
+
+impl PowerParams {
+    /// Representative DDR3-1600 values for the given device density.
+    /// Refresh energy scales with `tRFC` (IDD5 current × VDD × tRFC);
+    /// row/burst energies are density-independent to first order.
+    pub fn ddr3_1600(density: Density) -> Self {
+        // IDD5 ≈ 250 mA, VDD = 1.5 V → 375 mW during tRFC, per rank.
+        let e_ref_ab = 0.375 * density.trfc_ab().as_ns_f64();
+        PowerParams {
+            e_act_pre_nj: 20.0,
+            e_rd_nj: 5.2,
+            e_wr_nj: 5.6,
+            e_ref_ab_nj: e_ref_ab,
+            // Same rows per command in 1/8th of the banks.
+            e_ref_pb_nj: e_ref_ab / 8.0,
+            background_mw: 200.0,
+        }
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams::ddr3_1600(Density::Gb32)
+    }
+}
+
+/// An energy breakdown in nanojoules.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Row activate/precharge energy.
+    pub act_pre_nj: f64,
+    /// Read burst energy.
+    pub rd_nj: f64,
+    /// Write burst energy.
+    pub wr_nj: f64,
+    /// Refresh command energy.
+    pub refresh_nj: f64,
+    /// Background energy over the elapsed window.
+    pub background_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total_nj(&self) -> f64 {
+        self.act_pre_nj + self.rd_nj + self.wr_nj + self.refresh_nj + self.background_nj
+    }
+
+    /// Refresh share of the total.
+    pub fn refresh_fraction(&self) -> f64 {
+        let t = self.total_nj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.refresh_nj / t
+        }
+    }
+}
+
+/// Computes the energy consumed by the activity in `stats` over an
+/// `elapsed` wall-clock window.
+///
+/// Activates are inferred from the row-locality classification (misses
+/// and conflicts each required one ACT; conflicts additionally paid a
+/// PRE, which the ACT/PRE pair energy already folds in).
+pub fn energy(stats: &ControllerStats, elapsed: Ps, params: &PowerParams) -> EnergyBreakdown {
+    let activates = stats.row_misses + stats.row_conflicts;
+    let reads = stats.reads_completed - stats.forwarded_reads;
+    EnergyBreakdown {
+        act_pre_nj: activates as f64 * params.e_act_pre_nj,
+        rd_nj: reads as f64 * params.e_rd_nj,
+        wr_nj: stats.writes_completed as f64 * params.e_wr_nj,
+        refresh_nj: stats.refreshes_ab as f64 * params.e_ref_ab_nj
+            + stats.refreshes_pb as f64 * params.e_ref_pb_nj,
+        background_nj: params.background_mw * elapsed.as_ms_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> ControllerStats {
+        ControllerStats {
+            reads_completed: 1000,
+            forwarded_reads: 100,
+            writes_completed: 300,
+            row_hits: 600,
+            row_misses: 250,
+            row_conflicts: 150,
+            refreshes_ab: 64,
+            refreshes_pb: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_adds_up() {
+        let p = PowerParams::ddr3_1600(Density::Gb32);
+        let e = energy(&stats(), Ps::from_ms(1), &p);
+        let total = e.act_pre_nj + e.rd_nj + e.wr_nj + e.refresh_nj + e.background_nj;
+        assert!((e.total_nj() - total).abs() < 1e-9);
+        assert!(e.total_nj() > 0.0);
+        assert!(e.refresh_fraction() > 0.0 && e.refresh_fraction() < 1.0);
+    }
+
+    #[test]
+    fn refresh_energy_scales_with_density() {
+        let lo = PowerParams::ddr3_1600(Density::Gb8);
+        let hi = PowerParams::ddr3_1600(Density::Gb32);
+        assert!(hi.e_ref_ab_nj > lo.e_ref_ab_nj * 2.0);
+        // 890 ns at 375 mW ≈ 334 nJ.
+        assert!((hi.e_ref_ab_nj - 333.75).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_bank_and_all_bank_refresh_energy_equal_per_window() {
+        // 8× the commands at 1/8 the energy: per-bank refresh costs the
+        // same refresh energy as all-bank for equal row coverage.
+        let p = PowerParams::ddr3_1600(Density::Gb32);
+        let mut ab = ControllerStats::default();
+        ab.refreshes_ab = 128;
+        let mut pb = ControllerStats::default();
+        pb.refreshes_pb = 128 * 8;
+        let ea = energy(&ab, Ps::ZERO, &p).refresh_nj;
+        let eb = energy(&pb, Ps::ZERO, &p).refresh_nj;
+        assert!((ea - eb).abs() < 1e-6, "{ea} vs {eb}");
+    }
+
+    #[test]
+    fn forwarded_reads_cost_no_array_energy() {
+        let p = PowerParams::default();
+        let mut s = stats();
+        let base = energy(&s, Ps::ZERO, &p).rd_nj;
+        s.forwarded_reads += 100;
+        let fewer = energy(&s, Ps::ZERO, &p).rd_nj;
+        assert!(fewer < base);
+    }
+
+    #[test]
+    fn background_dominates_long_idle_windows() {
+        let p = PowerParams::default();
+        let e = energy(&ControllerStats::default(), Ps::from_ms(10), &p);
+        assert_eq!(e.total_nj(), e.background_nj);
+        // 200 mW × 10 ms = 2 mJ = 2e6 nJ.
+        assert!((e.background_nj - 2e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Memory transactions flowing between the cache hierarchy and the
+//! memory controller.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::geometry::Location;
+use crate::time::Ps;
+
+/// Unique id for an in-flight memory request, assigned by the requester
+/// (the MSHR layer in `refsim-cpu`).
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ReqId(pub u64);
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// Demand read (LLC miss fill). The requester is notified on
+    /// completion.
+    Read,
+    /// Writeback (dirty LLC eviction). Posted: no completion callback.
+    Write,
+}
+
+/// A cache-line-sized DRAM transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Requester-assigned id (echoed in [`Completion`]).
+    pub id: ReqId,
+    /// Read or write.
+    pub kind: ReqKind,
+    /// Physical byte address (line aligned).
+    pub paddr: u64,
+    /// Decoded DRAM location of `paddr`.
+    pub loc: Location,
+    /// Time the request entered the controller queue.
+    pub arrival: Ps,
+    /// Core that generated the request (for per-core stats), `u8::MAX`
+    /// when not attributable (e.g. prefetch or DMA).
+    pub core: u8,
+    /// Task that generated the request (for per-task stats), `u32::MAX`
+    /// when not attributable.
+    pub task: u32,
+}
+
+impl MemRequest {
+    /// True for [`ReqKind::Read`].
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, ReqKind::Read)
+    }
+}
+
+/// Completion notice for a read request: data fully transferred at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Id of the completed request.
+    pub id: ReqId,
+    /// Time the last data beat arrived.
+    pub at: Ps,
+    /// Queueing + service latency (`at - arrival`).
+    pub latency: Ps,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_read_discriminates() {
+        let loc = Location::default();
+        let mk = |kind| MemRequest {
+            id: ReqId(1),
+            kind,
+            paddr: 0,
+            loc,
+            arrival: Ps::ZERO,
+            core: 0,
+            task: 0,
+        };
+        assert!(mk(ReqKind::Read).is_read());
+        assert!(!mk(ReqKind::Write).is_read());
+    }
+
+    #[test]
+    fn req_id_display() {
+        assert_eq!(ReqId(42).to_string(), "req#42");
+    }
+}

@@ -1,0 +1,356 @@
+//! Simulation time base.
+//!
+//! The whole simulator runs on a single global time base expressed in
+//! **picoseconds** held in a [`Ps`] newtype. A single integer time base
+//! avoids rounding errors when crossing the CPU (3.2 GHz, 312.5 ps/cycle)
+//! and DRAM (DDR3-1600, tCK = 1250 ps) clock domains.
+//!
+//! # Examples
+//!
+//! ```
+//! use refsim_dram::time::Ps;
+//!
+//! let t = Ps::from_ns(7_800); // one DDR3 tREFI
+//! assert_eq!(t, Ps::from_us(7) + Ps::from_ns(800));
+//! assert_eq!(t.as_ns(), 7_800);
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time or a duration, in picoseconds.
+///
+/// `Ps` is used for both absolute simulation timestamps and durations;
+/// the arithmetic operators behave like plain integers. The zero value is
+/// the simulation epoch.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ps(pub u64);
+
+impl Ps {
+    /// The simulation epoch / zero duration.
+    pub const ZERO: Ps = Ps(0);
+    /// The largest representable instant, used as "never".
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Creates a time from whole picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Ps(ps)
+    }
+
+    /// Creates a time from whole nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Ps(ns * 1_000)
+    }
+
+    /// Creates a time from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Ps(us * 1_000_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Ps(ms * 1_000_000_000)
+    }
+
+    /// Returns the raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time rounded down to whole nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the time rounded down to whole microseconds.
+    #[inline]
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the time as fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the time as fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction; clamps at [`Ps::ZERO`].
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, rhs: Ps) -> Option<Ps> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Ps(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Ps) -> Ps {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: Ps) -> Ps {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Number of whole cycles of period `period` elapsed at this instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[inline]
+    pub fn cycles(self, period: Ps) -> u64 {
+        assert!(period.0 > 0, "cycle period must be non-zero");
+        self.0 / period.0
+    }
+
+    /// Rounds this instant *up* to the next multiple of `period`.
+    ///
+    /// An instant already on a boundary is returned unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[inline]
+    pub fn round_up(self, period: Ps) -> Ps {
+        assert!(period.0 > 0, "cycle period must be non-zero");
+        Ps(self.0.div_ceil(period.0) * period.0)
+    }
+
+    /// Multiplies a duration by a rational factor `num / den`, rounding to
+    /// nearest. Useful for derived timing parameters such as
+    /// `tRFCpb = tRFCab / 2.3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[inline]
+    pub fn scale(self, num: u64, den: u64) -> Ps {
+        assert!(den > 0, "denominator must be non-zero");
+        let v = self.0 as u128 * num as u128 / den as u128;
+        Ps(v.min(u64::MAX as u128) as u64)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0")
+        } else if ps % 1_000_000_000 == 0 {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps % 1_000_000 == 0 {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps % 1_000 == 0 {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    #[inline]
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    #[inline]
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    #[inline]
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ps {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Ps) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn mul(self, rhs: u64) -> Ps {
+        Ps(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn div(self, rhs: u64) -> Ps {
+        Ps(self.0 / rhs)
+    }
+}
+
+impl Div<Ps> for Ps {
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: Ps) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Ps> for Ps {
+    type Output = Ps;
+    #[inline]
+    fn rem(self, rhs: Ps) -> Ps {
+        Ps(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Ps {
+    fn sum<I: Iterator<Item = Ps>>(iter: I) -> Ps {
+        iter.fold(Ps::ZERO, Add::add)
+    }
+}
+
+/// DDR3-1600 memory-bus clock period (1.25 ns).
+pub const TCK_DDR3_1600: Ps = Ps(1_250);
+
+/// CPU clock period at 3.2 GHz (312.5 ps → stored exactly in quarter-ns).
+///
+/// 3.2 GHz divides evenly into picoseconds (312.5 ps is not整 — we use
+/// 312 ps? No: 1/3.2GHz = 312.5 ps). To stay exact we define the CPU
+/// period as 625 ps per *half*-cycle; all core-model arithmetic uses
+/// [`cpu_cycles_to_ps`]/[`ps_to_cpu_cycles`] which are exact for even
+/// counts and round to the nearest picosecond otherwise.
+pub const CPU_FREQ_GHZ: f64 = 3.2;
+
+/// Converts CPU cycles at 3.2 GHz to picoseconds (rounded to nearest).
+#[inline]
+pub fn cpu_cycles_to_ps(cycles: u64) -> Ps {
+    // 1 cycle = 312.5 ps = 625/2 ps.
+    Ps((cycles as u128 * 625 / 2) as u64)
+}
+
+/// Converts picoseconds to CPU cycles at 3.2 GHz (rounded down).
+#[inline]
+pub fn ps_to_cpu_cycles(t: Ps) -> u64 {
+    (t.0 as u128 * 2 / 625) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Ps::from_ns(1), Ps(1_000));
+        assert_eq!(Ps::from_us(1), Ps::from_ns(1_000));
+        assert_eq!(Ps::from_ms(1), Ps::from_us(1_000));
+    }
+
+    #[test]
+    fn display_uses_largest_exact_unit() {
+        assert_eq!(Ps::from_ms(64).to_string(), "64ms");
+        assert_eq!(Ps::from_ns(890).to_string(), "890ns");
+        assert_eq!(Ps::from_us(8).to_string(), "8us");
+        assert_eq!(Ps(1_500).to_string(), "1500ps");
+        assert_eq!(Ps::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ps::from_ns(10);
+        let b = Ps::from_ns(4);
+        assert_eq!(a + b, Ps::from_ns(14));
+        assert_eq!(a - b, Ps::from_ns(6));
+        assert_eq!(a * 3, Ps::from_ns(30));
+        assert_eq!(a / 2, Ps::from_ns(5));
+        assert_eq!(a / b, 2);
+        assert_eq!(a % b, Ps::from_ns(2));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Ps::from_ns(1).saturating_sub(Ps::from_ns(5)), Ps::ZERO);
+    }
+
+    #[test]
+    fn round_up_boundaries() {
+        let p = Ps::from_ns(10);
+        assert_eq!(Ps::from_ns(0).round_up(p), Ps::from_ns(0));
+        assert_eq!(Ps::from_ns(1).round_up(p), Ps::from_ns(10));
+        assert_eq!(Ps::from_ns(10).round_up(p), Ps::from_ns(10));
+        assert_eq!(Ps::from_ns(11).round_up(p), Ps::from_ns(20));
+    }
+
+    #[test]
+    fn scale_rounds_down_like_integer_division() {
+        // tRFCab / 2.3 => * 10 / 23
+        let trfc = Ps::from_ns(890);
+        assert_eq!(trfc.scale(10, 23), Ps::from_ps(386_956));
+    }
+
+    #[test]
+    fn cpu_cycle_conversion_roundtrip_even() {
+        for c in [0u64, 2, 4, 1000, 12_800_000] {
+            assert_eq!(ps_to_cpu_cycles(cpu_cycles_to_ps(c)), c);
+        }
+    }
+
+    #[test]
+    fn cycles_counts_whole_periods() {
+        assert_eq!(Ps::from_ns(10).cycles(Ps::from_ns(3)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn cycles_zero_period_panics() {
+        let _ = Ps::from_ns(1).cycles(Ps::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Ps = [Ps::from_ns(1), Ps::from_ns(2), Ps::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Ps::from_ns(6));
+    }
+}

@@ -1,0 +1,501 @@
+//! JEDEC timing parameters, device densities, and refresh timing.
+//!
+//! Values follow Table 1 of the paper (DDR3-1600) plus the DDR4
+//! fine-granularity-refresh scalings of §6.3:
+//!
+//! * `tREFIab = 7.8 µs`, `tREFW = 64 ms` (< 85 °C) or `32 ms` (> 85 °C)
+//! * `tRFCab = 350/530/710/890 ns` for 8/16/24/32 Gb devices
+//! * `tRFCab : tRFCpb = 2.3` (per Chang et al., cited in Table 1)
+//! * DDR4 2x/4x modes: `tREFI` halves/quarters while `tRFC` scales by
+//!   1.35×/1.63× of the halved/quartered value.
+//!
+//! # Time scaling
+//!
+//! [`RefreshTiming::scaled`] shrinks `tREFW` (and therefore the length of
+//! each per-bank refresh *slice*) while keeping `tREFI` and `tRFC` at
+//! JEDEC values. The refresh-busy *fraction* `tRFC/tREFI`, the co-design
+//! alignment `timeslice = tREFW / total_banks`, and the queueing impact of
+//! a single refresh are all invariant under this scaling — see DESIGN.md
+//! §2 for the argument. The number of rows covered by one refresh command
+//! is recomputed accordingly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{Ps, TCK_DDR3_1600};
+
+/// DRAM device density from the paper's evaluation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Density {
+    /// 8 Gb devices — current-day baseline in the paper's motivation
+    /// (Figure 3); excluded from the main evaluation (footnote 4).
+    Gb8,
+    /// 16 Gb devices: `tRFCab` = 530 ns, 256 Ki rows/bank.
+    Gb16,
+    /// 24 Gb devices: `tRFCab` = 710 ns, 384 Ki rows/bank.
+    Gb24,
+    /// 32 Gb devices: `tRFCab` = 890 ns, 512 Ki rows/bank.
+    #[default]
+    Gb32,
+}
+
+impl Density {
+    /// All densities, low to high.
+    pub const ALL: [Density; 4] = [Density::Gb8, Density::Gb16, Density::Gb24, Density::Gb32];
+
+    /// The densities used in the paper's main evaluation (§6).
+    pub const EVALUATED: [Density; 3] = [Density::Gb16, Density::Gb24, Density::Gb32];
+
+    /// All-bank refresh cycle time for this density (Table 1, plus the
+    /// 350 ns 8 Gb value from §3.1).
+    pub fn trfc_ab(self) -> Ps {
+        match self {
+            Density::Gb8 => Ps::from_ns(350),
+            Density::Gb16 => Ps::from_ns(530),
+            Density::Gb24 => Ps::from_ns(710),
+            Density::Gb32 => Ps::from_ns(890),
+        }
+    }
+
+    /// Rows per bank for this density (Table 1; 8 Gb scales down to
+    /// 128 Ki by the same progression).
+    pub fn rows_per_bank(self) -> u32 {
+        match self {
+            Density::Gb8 => 128 * 1024,
+            Density::Gb16 => 256 * 1024,
+            Density::Gb24 => 384 * 1024,
+            Density::Gb32 => 512 * 1024,
+        }
+    }
+
+    /// Device density in gigabits.
+    pub fn gigabits(self) -> u32 {
+        match self {
+            Density::Gb8 => 8,
+            Density::Gb16 => 16,
+            Density::Gb24 => 24,
+            Density::Gb32 => 32,
+        }
+    }
+}
+
+impl std::fmt::Display for Density {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}Gb", self.gigabits())
+    }
+}
+
+/// DRAM retention window: how often every row must be refreshed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Retention {
+    /// 64 ms — operating temperature below 85 °C.
+    #[default]
+    Ms64,
+    /// 32 ms — extended temperature (> 85 °C); refresh runs twice as often.
+    Ms32,
+}
+
+impl Retention {
+    /// The retention window duration.
+    pub fn trefw(self) -> Ps {
+        match self {
+            Retention::Ms64 => Ps::from_ms(64),
+            Retention::Ms32 => Ps::from_ms(32),
+        }
+    }
+
+    /// All-bank refresh interval: 7.8 µs at 64 ms retention, halved at
+    /// 32 ms so the same 8192 refresh commands cover the shorter window.
+    pub fn trefi_ab(self) -> Ps {
+        match self {
+            Retention::Ms64 => Ps::from_ns(7_800),
+            Retention::Ms32 => Ps::from_ns(3_900),
+        }
+    }
+}
+
+impl std::fmt::Display for Retention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Retention::Ms64 => write!(f, "64ms"),
+            Retention::Ms32 => write!(f, "32ms"),
+        }
+    }
+}
+
+/// DDR4 fine-granularity refresh mode (§6.3).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FgrMode {
+    /// 1x: baseline `tREFI`/`tRFC`.
+    #[default]
+    X1,
+    /// 2x: `tREFI/2`, `tRFC × 1.35 / 2`.
+    X2,
+    /// 4x: `tREFI/4`, `tRFC × 1.63 / 4`.
+    X4,
+}
+
+impl FgrMode {
+    /// All FGR modes.
+    pub const ALL: [FgrMode; 3] = [FgrMode::X1, FgrMode::X2, FgrMode::X4];
+
+    /// Scales a 1x `tREFI` to this mode.
+    pub fn scale_trefi(self, trefi_1x: Ps) -> Ps {
+        match self {
+            FgrMode::X1 => trefi_1x,
+            FgrMode::X2 => trefi_1x / 2,
+            FgrMode::X4 => trefi_1x / 4,
+        }
+    }
+
+    /// Scales a 1x `tRFC` to this mode (§6.3: 2x/4x shrink `tRFC` by only
+    /// 1.35×/1.63× relative to halving/quartering — i.e. the per-command
+    /// cost shrinks sub-linearly, which is why 2x/4x lose performance).
+    pub fn scale_trfc(self, trfc_1x: Ps) -> Ps {
+        match self {
+            FgrMode::X1 => trfc_1x,
+            FgrMode::X2 => trfc_1x.scale(135, 200), // ×1.35 / 2
+            FgrMode::X4 => trfc_1x.scale(163, 400), // ×1.63 / 4
+        }
+    }
+}
+
+impl std::fmt::Display for FgrMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FgrMode::X1 => write!(f, "1x"),
+            FgrMode::X2 => write!(f, "2x"),
+            FgrMode::X4 => write!(f, "4x"),
+        }
+    }
+}
+
+/// Bank/rank/channel command timing parameters (DDR3-1600K defaults).
+///
+/// All values are durations in [`Ps`]. Construct with
+/// [`TimingParams::ddr3_1600`] and tweak fields as needed; validated by
+/// [`TimingParams::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Memory-bus clock period.
+    pub tck: Ps,
+    /// ACT → internal read/write (RAS-to-CAS delay).
+    pub trcd: Ps,
+    /// PRE → ACT (row precharge).
+    pub trp: Ps,
+    /// Read CAS latency (CL), command to first data beat.
+    pub tcl: Ps,
+    /// Write CAS latency (CWL).
+    pub tcwl: Ps,
+    /// ACT → PRE minimum (row active time).
+    pub tras: Ps,
+    /// ACT → ACT same bank (`tRAS + tRP`).
+    pub trc: Ps,
+    /// ACT → ACT different banks, same rank.
+    pub trrd: Ps,
+    /// Four-activate window per rank.
+    pub tfaw: Ps,
+    /// CAS → CAS (column command spacing).
+    pub tccd: Ps,
+    /// Data burst duration (BL8 at DDR = 4 clocks).
+    pub tburst: Ps,
+    /// End of write data → PRE (write recovery).
+    pub twr: Ps,
+    /// End of write data → read command, same rank.
+    pub twtr: Ps,
+    /// Read command → PRE.
+    pub trtp: Ps,
+    /// Rank-to-rank data-bus switch penalty.
+    pub trtrs: Ps,
+}
+
+impl TimingParams {
+    /// DDR3-1600 (11-11-11) parameters matching Table 1's device.
+    pub fn ddr3_1600() -> Self {
+        let tck = TCK_DDR3_1600;
+        TimingParams {
+            tck,
+            trcd: Ps::from_ps(13_750),
+            trp: Ps::from_ps(13_750),
+            tcl: Ps::from_ps(13_750),
+            tcwl: tck * 8,
+            tras: Ps::from_ns(35),
+            trc: Ps::from_ps(48_750),
+            trrd: Ps::from_ns(6),
+            tfaw: Ps::from_ns(40),
+            tccd: tck * 4,
+            tburst: tck * 4,
+            twr: Ps::from_ns(15),
+            twtr: Ps::from_ps(7_500),
+            trtp: Ps::from_ps(7_500),
+            trtrs: tck * 2,
+        }
+    }
+
+    /// Checks internal consistency of the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated relation, e.g. `trc < tras +
+    /// trp` or a zero clock period.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tck == Ps::ZERO {
+            return Err("tck must be non-zero".to_owned());
+        }
+        if self.trc < self.tras + self.trp {
+            return Err(format!(
+                "trc ({}) must be >= tras + trp ({})",
+                self.trc,
+                self.tras + self.trp
+            ));
+        }
+        if self.tfaw < self.trrd {
+            return Err("tfaw must be >= trrd".to_owned());
+        }
+        if self.tburst == Ps::ZERO {
+            return Err("tburst must be non-zero".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr3_1600()
+    }
+}
+
+/// Refresh timing derived from density, retention, FGR mode and the
+/// optional time-scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshTiming {
+    /// Retention window (scaled).
+    pub trefw: Ps,
+    /// All-bank refresh interval (JEDEC, unscaled).
+    pub trefi_ab: Ps,
+    /// All-bank refresh cycle time.
+    pub trfc_ab: Ps,
+    /// Per-bank refresh cycle time (`trfc_ab / 2.3`).
+    pub trfc_pb: Ps,
+    /// Rows per bank (for bookkeeping row-coverage).
+    pub rows_per_bank: u32,
+    /// Time-scale divisor that produced `trefw` (1 = full scale).
+    pub time_scale: u32,
+}
+
+impl RefreshTiming {
+    /// Full-scale (unscaled) refresh timing.
+    pub fn new(density: Density, retention: Retention) -> Self {
+        Self::scaled(density, retention, 1)
+    }
+
+    /// Refresh timing with `tREFW` shrunk by `time_scale` (see module
+    /// docs). `tREFI` and `tRFC` keep their JEDEC values so the
+    /// refresh-busy fraction is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_scale` is zero or leaves fewer than one all-bank
+    /// refresh interval per window.
+    pub fn scaled(density: Density, retention: Retention, time_scale: u32) -> Self {
+        assert!(time_scale > 0, "time_scale must be >= 1");
+        let trefw = retention.trefw() / u64::from(time_scale);
+        let trefi_ab = retention.trefi_ab();
+        assert!(
+            trefw >= trefi_ab,
+            "time_scale {time_scale} leaves tREFW ({trefw}) below tREFIab ({trefi_ab})"
+        );
+        RefreshTiming {
+            trefw,
+            trefi_ab,
+            trfc_ab: density.trfc_ab(),
+            trfc_pb: density.trfc_ab().scale(10, 23),
+            rows_per_bank: density.rows_per_bank(),
+            time_scale,
+        }
+    }
+
+    /// Number of all-bank refresh commands per retention window
+    /// (8192 at full scale and 64 ms).
+    pub fn ab_refreshes_per_window(&self) -> u64 {
+        self.trefw / self.trefi_ab
+    }
+
+    /// Per-bank refresh interval for `total_banks` banks in the channel:
+    /// `tREFIpb = tREFIab / totalBanks` (§2.2.2 / Figure 2b, generalized
+    /// over ranks as in §5.1's 16-bank example where each bank finishes in
+    /// `tREFW/16 = 4 ms`).
+    pub fn trefi_pb(&self, total_banks: u32) -> Ps {
+        self.trefi_ab / u64::from(total_banks)
+    }
+
+    /// Length of one bank's contiguous refresh slice under the proposed
+    /// sequential schedule: `tREFW / totalBanks`.
+    pub fn slice_len(&self, total_banks: u32) -> Ps {
+        self.trefw / u64::from(total_banks)
+    }
+
+    /// Rows covered by one per-bank refresh command so the whole bank is
+    /// covered in one window (`rows_per_bank / pb_refreshes_per_bank`).
+    pub fn rows_per_pb_refresh(&self, total_banks: u32) -> u32 {
+        let per_bank_cmds = self.slice_len(total_banks) / self.trefi_pb(total_banks);
+        (u64::from(self.rows_per_bank).div_ceil(per_bank_cmds.max(1))) as u32
+    }
+
+    /// Whether the paper's *serial* sequential schedule — exactly one
+    /// bank refreshing at a time, system-wide — is practical: it needs
+    /// one `REFpb` per `tREFIab / totalBanks`, which must fit `tRFCpb`
+    /// *plus* enough slack for demand traffic to the just-refreshed bank
+    /// to make forward progress between commands (one row cycle, ~tRC ≈
+    /// 60 ns — without it the serially-swept bank starves for its whole
+    /// slice). True at 64 ms retention for 16 banks (487.5 ns ≥ 387 ns +
+    /// 60 ns); false at 32 ms or with 32 banks, where the per-bank
+    /// engines overlap across ranks instead.
+    pub fn serial_sequential_feasible(&self, total_banks: u32) -> bool {
+        const FORWARD_PROGRESS_SLACK: Ps = Ps(60_000);
+        self.trefi_pb(total_banks) >= self.trfc_pb + FORWARD_PROGRESS_SLACK
+    }
+
+    /// Length of one slice of the proposed sequential schedule: with the
+    /// serial schedule, `tREFW / totalBanks` (the paper's 4 ms at 64 ms /
+    /// 16 banks); with the parallel per-rank fallback, `tREFW /
+    /// banksPerRank` (each rank walks its banks concurrently).
+    pub fn sequential_slice(&self, total_banks: u32, banks_per_rank: u32) -> Ps {
+        if self.serial_sequential_feasible(total_banks) {
+            self.trefw / u64::from(total_banks)
+        } else {
+            self.trefw / u64::from(banks_per_rank)
+        }
+    }
+
+    /// Per-rank per-bank refresh interval (`tREFIab / banksPerRank`):
+    /// the rate at which one rank's refresh engine issues `REFpb`
+    /// commands in LPDDR3's per-bank mode.
+    pub fn trefi_pb_rank(&self, banks_per_rank: u32) -> Ps {
+        self.trefi_ab / u64::from(banks_per_rank)
+    }
+
+    /// Applies a DDR4 FGR mode, scaling `tREFIab` and `tRFC`s (§6.3).
+    pub fn with_fgr(mut self, mode: FgrMode) -> Self {
+        self.trefi_ab = mode.scale_trefi(self.trefi_ab);
+        self.trfc_ab = mode.scale_trfc(self.trfc_ab);
+        self.trfc_pb = self.trfc_ab.scale(10, 23);
+        self
+    }
+
+    /// Fraction of time a rank is unavailable under all-bank refresh
+    /// (`tRFCab / tREFIab`); the first-order refresh overhead.
+    pub fn ab_busy_fraction(&self) -> f64 {
+        self.trfc_ab.as_ps() as f64 / self.trefi_ab.as_ps() as f64
+    }
+
+    /// Fraction of time any single bank is unavailable under per-bank
+    /// refresh (`tRFCpb / tREFIab`: each bank is refreshed once per
+    /// `tREFIab` in round-robin).
+    pub fn pb_bank_busy_fraction(&self) -> f64 {
+        self.trfc_pb.as_ps() as f64 / self.trefi_ab.as_ps() as f64
+    }
+}
+
+impl Default for RefreshTiming {
+    fn default() -> Self {
+        RefreshTiming::new(Density::Gb32, Retention::Ms64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_table_matches_paper() {
+        assert_eq!(Density::Gb16.trfc_ab(), Ps::from_ns(530));
+        assert_eq!(Density::Gb24.trfc_ab(), Ps::from_ns(710));
+        assert_eq!(Density::Gb32.trfc_ab(), Ps::from_ns(890));
+        assert_eq!(Density::Gb8.trfc_ab(), Ps::from_ns(350));
+        assert_eq!(Density::Gb32.rows_per_bank(), 512 * 1024);
+        assert_eq!(Density::Gb24.rows_per_bank(), 384 * 1024);
+        assert_eq!(Density::Gb16.rows_per_bank(), 256 * 1024);
+    }
+
+    #[test]
+    fn ddr3_1600_validates() {
+        assert!(TimingParams::ddr3_1600().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_trc_violation() {
+        let mut t = TimingParams::ddr3_1600();
+        t.trc = Ps::from_ns(10);
+        assert!(t.validate().unwrap_err().contains("trc"));
+    }
+
+    #[test]
+    fn refresh_commands_per_window() {
+        let rt = RefreshTiming::new(Density::Gb32, Retention::Ms64);
+        // 64 ms / 7.8 µs = 8205 whole intervals (the paper rounds to 8192)
+        assert_eq!(rt.ab_refreshes_per_window(), 8205);
+        let rt32 = RefreshTiming::new(Density::Gb32, Retention::Ms32);
+        assert_eq!(rt32.ab_refreshes_per_window(), 8205);
+    }
+
+    #[test]
+    fn trfc_pb_ratio_is_2_3() {
+        let rt = RefreshTiming::new(Density::Gb32, Retention::Ms64);
+        let ratio = rt.trfc_ab.as_ps() as f64 / rt.trfc_pb.as_ps() as f64;
+        assert!((ratio - 2.3).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sequential_slice_is_4ms_for_16_banks() {
+        // §5.1: 2 ranks × 8 banks, 64 ms retention → bank 0 done in 4 ms.
+        let rt = RefreshTiming::new(Density::Gb32, Retention::Ms64);
+        assert_eq!(rt.slice_len(16), Ps::from_ms(4));
+        assert_eq!(rt.trefi_pb(16), Ps::from_ps(487_500));
+    }
+
+    #[test]
+    fn scaled_preserves_busy_fractions() {
+        let full = RefreshTiming::new(Density::Gb32, Retention::Ms64);
+        let scaled = RefreshTiming::scaled(Density::Gb32, Retention::Ms64, 32);
+        assert_eq!(full.ab_busy_fraction(), scaled.ab_busy_fraction());
+        assert_eq!(full.pb_bank_busy_fraction(), scaled.pb_bank_busy_fraction());
+        assert_eq!(scaled.trefw, Ps::from_ms(2));
+        assert_eq!(scaled.slice_len(16), Ps::from_us(125));
+    }
+
+    #[test]
+    #[should_panic(expected = "time_scale")]
+    fn scaled_rejects_absurd_scale() {
+        let _ = RefreshTiming::scaled(Density::Gb32, Retention::Ms64, 20_000);
+    }
+
+    #[test]
+    fn fgr_scalings_match_section_6_3() {
+        let rt = RefreshTiming::new(Density::Gb32, Retention::Ms64);
+        let x2 = rt.with_fgr(FgrMode::X2);
+        assert_eq!(x2.trefi_ab, Ps::from_ns(3_900));
+        assert_eq!(x2.trfc_ab, Ps::from_ns(890).scale(135, 200));
+        let x4 = rt.with_fgr(FgrMode::X4);
+        assert_eq!(x4.trefi_ab, Ps::from_ns(1_950));
+        assert_eq!(x4.trfc_ab, Ps::from_ns(890).scale(163, 400));
+        // FGR modes *increase* total refresh-busy fraction (the paper's
+        // reason 2x/4x underperform 1x).
+        assert!(x2.ab_busy_fraction() > rt.ab_busy_fraction());
+        assert!(x4.ab_busy_fraction() > x2.ab_busy_fraction());
+    }
+
+    #[test]
+    fn rows_per_pb_refresh_covers_bank() {
+        let rt = RefreshTiming::new(Density::Gb32, Retention::Ms64);
+        let per_cmd = rt.rows_per_pb_refresh(16);
+        let cmds_per_slice = rt.slice_len(16) / rt.trefi_pb(16);
+        assert!(u64::from(per_cmd) * cmds_per_slice >= u64::from(rt.rows_per_bank));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Density::Gb32.to_string(), "32Gb");
+        assert_eq!(Retention::Ms32.to_string(), "32ms");
+        assert_eq!(FgrMode::X4.to_string(), "4x");
+    }
+}

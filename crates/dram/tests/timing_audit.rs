@@ -1,0 +1,259 @@
+//! JEDEC timing auditor: drives the memory controller with randomized
+//! request streams under every refresh policy, records the full command
+//! trace, and re-verifies every inter-command timing constraint
+//! independently of the controller's own bookkeeping.
+
+use proptest::prelude::*;
+
+use refsim_dram::controller::{ControllerConfig, MemoryController, TraceCmd, TraceEntry};
+use refsim_dram::geometry::Geometry;
+use refsim_dram::mapping::{AddressMapping, MappingScheme};
+use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::request::{MemRequest, ReqId, ReqKind};
+use refsim_dram::time::Ps;
+use refsim_dram::timing::{Density, FgrMode, RefreshTiming, Retention, TimingParams};
+
+/// Replays a trace and asserts every JEDEC constraint.
+fn audit(trace: &[TraceEntry], t: &TimingParams, trfc_ab: Ps, trfc_pb: Ps) {
+    const NB: usize = 8; // banks per rank
+    const NR: usize = 2;
+    #[derive(Clone, Copy, Default)]
+    struct BankAudit {
+        last_act: Option<Ps>,
+        last_pre: Option<Ps>,
+        last_cas_rd: Option<Ps>,
+        last_wr_data_end: Option<Ps>,
+        last_ref_end: Option<Ps>,
+        open: bool,
+    }
+    let mut banks = [[BankAudit::default(); NB]; NR];
+    let mut rank_acts: Vec<Vec<Ps>> = vec![Vec::new(); NR];
+    let mut rank_ref_end = [Ps::ZERO; NR];
+    let mut last_cmd: Option<Ps> = None;
+    let mut data_busy: Vec<(Ps, Ps)> = Vec::new(); // (start, end) of data bursts
+
+    for e in trace {
+        // Command bus: at most one command per tCK, aligned.
+        if let Some(prev) = last_cmd {
+            assert!(
+                e.at >= prev + t.tck || e.at == prev,
+                "commands at {prev} and {} closer than tCK",
+                e.at
+            );
+        }
+        assert_eq!(e.at.as_ps() % t.tck.as_ps(), 0, "command off the clock grid");
+        last_cmd = Some(e.at);
+
+        let r = e.rank as usize;
+        match e.cmd {
+            TraceCmd::Act { .. } => {
+                let b = &mut banks[r][e.bank as usize];
+                assert!(!b.open, "ACT to open bank at {}", e.at);
+                if let Some(prev) = b.last_act {
+                    assert!(e.at - prev >= t.trc, "tRC violation at {}", e.at);
+                }
+                if let Some(pre) = b.last_pre {
+                    assert!(e.at - pre >= t.trp, "tRP violation at {}", e.at);
+                }
+                if let Some(refe) = b.last_ref_end {
+                    assert!(e.at >= refe, "ACT during per-bank refresh at {}", e.at);
+                }
+                assert!(e.at >= rank_ref_end[r], "ACT during rank refresh at {}", e.at);
+                // tRRD: previous ACT in the rank.
+                if let Some(&prev) = rank_acts[r].last() {
+                    assert!(e.at - prev >= t.trrd, "tRRD violation at {}", e.at);
+                }
+                // tFAW: 4-activate window.
+                let n = rank_acts[r].len();
+                if n >= 4 {
+                    let fourth_back = rank_acts[r][n - 4];
+                    assert!(
+                        e.at - fourth_back >= t.tfaw,
+                        "tFAW violation at {} (4th-back ACT {fourth_back})",
+                        e.at
+                    );
+                }
+                rank_acts[r].push(e.at);
+                b.last_act = Some(e.at);
+                b.open = true;
+            }
+            TraceCmd::Rd | TraceCmd::Wr => {
+                let b = &mut banks[r][e.bank as usize];
+                assert!(b.open, "CAS to closed bank at {}", e.at);
+                let act = b.last_act.expect("open implies activated");
+                assert!(e.at - act >= t.trcd, "tRCD violation at {}", e.at);
+                let (lat, is_rd) = match e.cmd {
+                    TraceCmd::Rd => (t.tcl, true),
+                    _ => (t.tcwl, false),
+                };
+                let (start, end) = (e.at + lat, e.at + lat + t.tburst);
+                // Data-bus: bursts never overlap.
+                for &(s0, e0) in &data_busy {
+                    assert!(
+                        end <= s0 || start >= e0,
+                        "data-bus overlap at {} ([{start},{end}) vs [{s0},{e0}))",
+                        e.at
+                    );
+                }
+                data_busy.push((start, end));
+                if is_rd {
+                    b.last_cas_rd = Some(e.at);
+                    // tWTR: read after a write's data end, same rank.
+                    for bb in &banks[r] {
+                        if let Some(wend) = bb.last_wr_data_end {
+                            assert!(
+                                e.at >= wend + t.twtr || e.at <= wend,
+                                "tWTR violation at {}",
+                                e.at
+                            );
+                        }
+                    }
+                } else {
+                    banks[r][e.bank as usize].last_wr_data_end = Some(end);
+                }
+            }
+            TraceCmd::Pre => {
+                let b = &mut banks[r][e.bank as usize];
+                assert!(b.open, "PRE to closed bank at {}", e.at);
+                let act = b.last_act.expect("open implies activated");
+                assert!(e.at - act >= t.tras, "tRAS violation at {}", e.at);
+                if let Some(rd) = b.last_cas_rd {
+                    assert!(e.at - rd >= t.trtp, "tRTP violation at {}", e.at);
+                }
+                if let Some(wend) = b.last_wr_data_end {
+                    if wend > e.at {
+                        panic!("PRE before write data completed at {}", e.at);
+                    }
+                    assert!(e.at - wend >= t.twr, "tWR violation at {}", e.at);
+                }
+                b.last_pre = Some(e.at);
+                b.open = false;
+            }
+            TraceCmd::RefAb => {
+                for (bi, b) in banks[r].iter().enumerate() {
+                    assert!(!b.open, "REFab with bank {bi} open at {}", e.at);
+                }
+                rank_ref_end[r] = e.at + trfc_ab;
+                for b in banks[r].iter_mut() {
+                    b.last_ref_end = Some(e.at + trfc_ab);
+                }
+            }
+            TraceCmd::RefPb => {
+                let b = &mut banks[r][e.bank as usize];
+                assert!(!b.open, "REFpb to open bank at {}", e.at);
+                if let Some(prev) = b.last_ref_end {
+                    assert!(e.at >= prev, "overlapping REFpb at {}", e.at);
+                }
+                if let Some(pre) = b.last_pre {
+                    assert!(e.at - pre >= t.trp, "REF before tRP at {}", e.at);
+                }
+                b.last_ref_end = Some(e.at + trfc_pb);
+            }
+        }
+    }
+}
+
+fn run_policy(
+    policy: RefreshPolicyKind,
+    retention: Retention,
+    stream: &[(u64, bool, u64)], // (addr-hash, is_write, gap_ns)
+) -> (Vec<TraceEntry>, TimingParams, Ps, Ps) {
+    let mapping = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+    let timing = RefreshTiming::scaled(Density::Gb32, retention, 512);
+    // The audit must use the *effective* tRFC of the policy's mode: FGR
+    // modes shrink it per §6.3, and Adaptive Refresh may run in 4x (use
+    // the shorter duration — a conservative lower bound for the
+    // exclusion windows the audit enforces).
+    let trfc_ab = match policy {
+        RefreshPolicyKind::Fgr(m) => m.scale_trfc(timing.trfc_ab),
+        RefreshPolicyKind::Adaptive => FgrMode::X4.scale_trfc(timing.trfc_ab),
+        _ => timing.trfc_ab,
+    };
+    let trfc_pb = timing.trfc_pb;
+    let tp = TimingParams::ddr3_1600();
+    let mut mc = MemoryController::new(mapping, tp, timing, policy, ControllerConfig::default());
+    mc.enable_trace();
+    let mut t = Ps::ZERO;
+    for (i, &(h, w, gap)) in stream.iter().enumerate() {
+        t += Ps::from_ns(gap % 300);
+        mc.advance_to(t);
+        let paddr = h.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((32u64 << 30) - 1) & !0x3f;
+        let _ = mc.enqueue(MemRequest {
+            id: ReqId(i as u64),
+            kind: if w { ReqKind::Write } else { ReqKind::Read },
+            paddr,
+            loc: mc.mapping().decode(paddr),
+            arrival: t,
+            core: 0,
+            task: 0,
+        });
+    }
+    mc.advance_to(t + Ps::from_us(50));
+    (mc.take_trace(), tp, trfc_ab, trfc_pb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every command the controller issues satisfies the full JEDEC
+    /// constraint set, for every refresh policy and both retentions.
+    #[test]
+    fn all_policies_issue_legal_command_streams(
+        stream in prop::collection::vec((any::<u64>(), any::<bool>(), 0u64..300), 50..400),
+        policy in prop_oneof![
+            Just(RefreshPolicyKind::NoRefresh),
+            Just(RefreshPolicyKind::AllBank),
+            Just(RefreshPolicyKind::PerBankRoundRobin),
+            Just(RefreshPolicyKind::PerBankSequential),
+            Just(RefreshPolicyKind::OooPerBank),
+            Just(RefreshPolicyKind::Fgr(FgrMode::X4)),
+            Just(RefreshPolicyKind::Adaptive),
+            Just(RefreshPolicyKind::Elastic),
+        ],
+        retention in prop_oneof![Just(Retention::Ms64), Just(Retention::Ms32)],
+    ) {
+        let (trace, tp, trfc_ab, trfc_pb) = run_policy(policy, retention, &stream);
+        prop_assert!(!trace.is_empty());
+        audit(&trace, &tp, trfc_ab, trfc_pb);
+    }
+}
+
+#[test]
+fn hot_bank_conflict_stream_is_legal() {
+    // Deterministic worst case: hammer two rows of one bank (constant
+    // PRE/ACT ping-pong) under the sequential schedule.
+    let mapping = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+    let timing = RefreshTiming::scaled(Density::Gb32, Retention::Ms64, 512);
+    let (trfc_ab, trfc_pb) = (timing.trfc_ab, timing.trfc_pb);
+    let tp = TimingParams::ddr3_1600();
+    let mut mc = MemoryController::new(
+        mapping,
+        tp,
+        timing,
+        RefreshPolicyKind::PerBankSequential,
+        ControllerConfig::default(),
+    );
+    mc.enable_trace();
+    let row_stride = 64 * 1024u64; // same bank, next row
+    let mut t = Ps::ZERO;
+    for i in 0..2000u64 {
+        t += Ps::from_ns(20);
+        mc.advance_to(t);
+        let paddr = (i % 2) * row_stride;
+        let _ = mc.enqueue(MemRequest {
+            id: ReqId(i),
+            kind: ReqKind::Read,
+            paddr,
+            loc: mc.mapping().decode(paddr),
+            arrival: t,
+            core: 0,
+            task: 0,
+        });
+    }
+    mc.advance_to(t + Ps::from_us(20));
+    let trace = mc.take_trace();
+    assert!(trace.len() > 1000, "expected a dense command stream");
+    audit(&trace, &tp, trfc_ab, trfc_pb);
+    // The stream really was conflict-heavy.
+    assert!(mc.stats().row_conflicts > 500);
+}

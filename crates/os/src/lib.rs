@@ -1,0 +1,32 @@
+//! # refsim-os
+//!
+//! Simulated operating-system substrate for refsim: the Linux-like
+//! machinery the paper's co-design modifies — a binary buddy page
+//! allocator extended with per-bank free lists and per-task
+//! `possible_banks_vector`s (Algorithm 2), demand-paged virtual memory,
+//! a CFS-style scheduler with the refresh-aware `pick_next_task`
+//! (Algorithm 3, including the `η_thresh` fairness fallback and the
+//! §5.4.1 best-effort variant), and the soft/hard memory-partition
+//! planner of §5.2.1.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bank_alloc;
+pub mod buddy;
+pub mod cfs;
+pub mod partition;
+pub mod sched;
+pub mod task;
+pub mod vm;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::bank_alloc::{BankAwareAllocator, BankVector, PageAlloc, PAGE_BYTES};
+    pub use crate::buddy::{BuddyAllocator, Frame, OutOfMemory};
+    pub use crate::cfs::CfsRunqueue;
+    pub use crate::partition::{plan, Partition, PartitionInput, PartitionPlan};
+    pub use crate::sched::{SchedPolicy, SchedStats, Scheduler};
+    pub use crate::task::{Task, TaskId, TaskState};
+    pub use crate::vm::AddressSpace;
+}

@@ -1,0 +1,332 @@
+//! Memory-partition planning: how tasks' `possible_banks_vector`s are
+//! chosen (§5.2.1, Figures 8–9, §6.2, §6.6).
+//!
+//! The co-design's default is *soft partitioning*: with `N` tasks per
+//! core and `B` banks per rank, task-group `k ∈ [0, N)` is excluded from
+//! the `B/N` banks `[k·B/N, (k+1)·B/N)` *in every rank*, i.e. each task
+//! may use `B − B/N` banks per rank (6 of 8 at the paper's 1:4
+//! consolidation, 4 of 8 at 1:2 — exactly §6.2/§6.6). Groups repeat
+//! across cores, so several tasks share each bank subset (soft), and for
+//! any bank being refreshed every core has a runnable task that avoids
+//! it — the property Figure 9 illustrates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank_alloc::BankVector;
+
+/// How task data is confined to banks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionPlan {
+    /// Bank-agnostic baseline: every task may use every bank.
+    #[default]
+    None,
+    /// Soft partitioning at the co-design's sweet spot: each task uses
+    /// `B − B/tasks_per_core` banks per rank (Figure 8b).
+    Soft,
+    /// Confine each task to exactly `banks_per_task` banks per rank,
+    /// with exclusion windows staggered across task groups (the Figure 4
+    /// sweep and footnote 11's 2/4/6-bank ablation).
+    Confine {
+        /// Banks per rank each task may use.
+        banks_per_task: u32,
+    },
+    /// Hard partitioning (Figure 8a): global banks divided exclusively
+    /// among tasks; no sharing.
+    Hard,
+}
+
+/// A concrete per-task layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Per-task permitted banks (global indices).
+    pub banks: Vec<BankVector>,
+    /// Per-task CPU assignment (`task i → core i mod n_cores`).
+    pub cpus: Vec<u32>,
+}
+
+/// Geometry inputs the planner needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionInput {
+    /// Global banks in the system (all channels).
+    pub total_banks: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Number of CPUs.
+    pub n_cores: u32,
+    /// Number of tasks.
+    pub n_tasks: u32,
+}
+
+impl PartitionInput {
+    fn tasks_per_core(&self) -> u32 {
+        self.n_tasks.div_ceil(self.n_cores)
+    }
+}
+
+/// Plans per-task bank vectors and core placement.
+///
+/// # Panics
+///
+/// Panics on degenerate inputs (zero tasks/cores/banks) or a `Confine`
+/// width outside `1..=banks_per_rank`.
+///
+/// # Examples
+///
+/// ```
+/// use refsim_os::partition::{plan, PartitionInput, PartitionPlan};
+///
+/// // The paper's dual-core 1:4 setup: each task gets 6 of 8 banks/rank.
+/// let p = plan(
+///     PartitionPlan::Soft,
+///     PartitionInput { total_banks: 16, banks_per_rank: 8, n_cores: 2, n_tasks: 8 },
+/// );
+/// assert!(p.banks.iter().all(|b| b.count() == 12)); // 6 per rank × 2 ranks
+/// ```
+pub fn plan(kind: PartitionPlan, input: PartitionInput) -> Partition {
+    assert!(input.n_tasks > 0 && input.n_cores > 0, "empty system");
+    assert!(
+        input.total_banks > 0 && input.banks_per_rank > 0,
+        "no banks"
+    );
+    assert!(input.total_banks % input.banks_per_rank == 0);
+    let cpus = (0..input.n_tasks).map(|i| i % input.n_cores).collect();
+    let banks = match kind {
+        PartitionPlan::None => vec![BankVector::all(input.total_banks); input.n_tasks as usize],
+        PartitionPlan::Soft => {
+            // Exclusion windows must jointly cover the rank, so each is
+            // ceil(B/N) wide: 6-of-8 banks at 1:4, 4-of-8 at 1:2 (§6.2,
+            // §6.6), 5-of-8 at a non-dividing 1:3.
+            let n = input.tasks_per_core();
+            let width = input.banks_per_rank - input.banks_per_rank.div_ceil(n).max(1);
+            return plan(
+                PartitionPlan::Confine {
+                    banks_per_task: width.max(1),
+                },
+                input,
+            );
+        }
+        PartitionPlan::Confine { banks_per_task } => {
+            assert!(
+                (1..=input.banks_per_rank).contains(&banks_per_task),
+                "banks_per_task {banks_per_task} outside 1..={}",
+                input.banks_per_rank
+            );
+            let n = input.tasks_per_core();
+            let b = input.banks_per_rank;
+            let excl_len = b - banks_per_task;
+            // Spread exclusion-window starts evenly (start g = ⌊g·B/N⌋)
+            // so the windows jointly cover the rank whenever
+            // excl_len ≥ ceil(B/N) — every refresh slice then has an
+            // eligible task group.
+            // Group assignment is rotated across cores: core c's j-th
+            // task joins group (j + c·n/n_cores) mod n. Same-group tasks
+            // (which the refresh-aware scheduler co-runs, since exactly
+            // one group is eligible per refresh slice) then come from
+            // *different* positions of each core's task list, so
+            // consecutive heavy tasks of a mix are paired with light
+            // ones instead of with each other — reducing contention on
+            // the shared bank subset.
+            let core_offset = (n / input.n_cores).max(1);
+            (0..input.n_tasks)
+                .map(|i| {
+                    let j = i / input.n_cores;
+                    let c = i % input.n_cores;
+                    let group = (j + c * core_offset) % n;
+                    let start = (group * b / n) % b;
+                    let mut v = BankVector::EMPTY;
+                    for g in 0..input.total_banks {
+                        let within_rank = g % input.banks_per_rank;
+                        let off = (within_rank + b - start) % b;
+                        if off >= excl_len {
+                            v.insert(g);
+                        }
+                    }
+                    v
+                })
+                .collect()
+        }
+        PartitionPlan::Hard => {
+            let per_task = (input.total_banks / input.n_tasks).max(1);
+            (0..input.n_tasks)
+                .map(|i| {
+                    let start = (i * per_task) % input.total_banks;
+                    (start..start + per_task)
+                        .map(|g| g % input.total_banks)
+                        .collect()
+                })
+                .collect()
+        }
+    };
+    Partition { banks, cpus }
+}
+
+/// Checks the co-design's schedulability property: for every global
+/// bank, every core hosts at least one task that avoids it. Returns the
+/// first violating `(bank, core)` if any.
+pub fn verify_coverage(p: &Partition, input: PartitionInput) -> Result<(), (u32, u32)> {
+    for bank in 0..input.total_banks {
+        for core in 0..input.n_cores {
+            let ok = (0..input.n_tasks)
+                .filter(|&i| p.cpus[i as usize] == core)
+                .any(|i| !p.banks[i as usize].contains(bank));
+            if !ok {
+                return Err((bank, core));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_input() -> PartitionInput {
+        PartitionInput {
+            total_banks: 16,
+            banks_per_rank: 8,
+            n_cores: 2,
+            n_tasks: 8,
+        }
+    }
+
+    #[test]
+    fn none_gives_all_banks() {
+        let p = plan(PartitionPlan::None, paper_input());
+        assert_eq!(p.banks.len(), 8);
+        assert!(p.banks.iter().all(|b| b.count() == 16));
+        assert_eq!(p.cpus, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn soft_1to4_gives_6_banks_per_rank() {
+        // §6.2: "we confine each task to 6 banks within a rank".
+        let p = plan(PartitionPlan::Soft, paper_input());
+        assert!(p.banks.iter().all(|b| b.count() == 12));
+        assert!(verify_coverage(&p, paper_input()).is_ok());
+    }
+
+    #[test]
+    fn soft_1to2_gives_4_banks_per_rank() {
+        // §6.6: at 1:2 consolidation each task allocates on 4 banks/rank.
+        let input = PartitionInput {
+            n_tasks: 4,
+            ..paper_input()
+        };
+        let p = plan(PartitionPlan::Soft, input);
+        assert!(p.banks.iter().all(|b| b.count() == 8));
+        assert!(verify_coverage(&p, input).is_ok());
+    }
+
+    #[test]
+    fn exclusions_repeat_across_ranks() {
+        let p = plan(PartitionPlan::Soft, paper_input());
+        // Task 0 (group 0) excludes banks 0,1 in both ranks.
+        let v = p.banks[0];
+        assert!(!v.contains(0) && !v.contains(1));
+        assert!(!v.contains(8) && !v.contains(9));
+        assert!(v.contains(2) && v.contains(15));
+        // And the exclusion repeats identically in rank 1 for all tasks.
+        for t in &p.banks {
+            for b in 0..8u32 {
+                assert_eq!(t.contains(b), t.contains(b + 8));
+            }
+        }
+    }
+
+    #[test]
+    fn groups_rotate_across_cores() {
+        let p = plan(PartitionPlan::Soft, paper_input());
+        // Core 0 (even tasks) walks groups 0,1,2,3; core 1 (odd tasks)
+        // starts at group 2 — so same-group (co-scheduled) tasks come
+        // from different positions of each core's task list.
+        // Task 0 = core0 j0 → group 0 (excludes banks 0,1).
+        assert!(!p.banks[0].contains(0) && !p.banks[0].contains(1));
+        // Task 1 = core1 j0 → group 2 (excludes banks 4,5).
+        assert!(!p.banks[1].contains(4) && !p.banks[1].contains(5));
+        assert!(p.banks[1].contains(0));
+        // Task 2 = core0 j1 → group 1 (excludes banks 2,3).
+        assert!(!p.banks[2].contains(2) && !p.banks[2].contains(3));
+        // Every group appears exactly once per core.
+        for core in 0..2u32 {
+            let groups: std::collections::HashSet<u64> = (0..8)
+                .filter(|i| i % 2 == core)
+                .map(|i| p.banks[i as usize].bits())
+                .collect();
+            assert_eq!(groups.len(), 4, "core {core} must host all groups");
+        }
+    }
+
+    #[test]
+    fn confine_sweep_counts() {
+        for k in [1u32, 2, 4, 6, 8] {
+            let p = plan(
+                PartitionPlan::Confine { banks_per_task: k },
+                paper_input(),
+            );
+            assert!(
+                p.banks.iter().all(|b| b.count() == k * 2),
+                "k={k}: counts {:?}",
+                p.banks.iter().map(|b| b.count()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn confine_coverage_holds_when_windows_cover() {
+        // 4 groups × exclusion length ≥ 8 ⇒ coverage (k ≤ 6).
+        for k in [2u32, 4, 6] {
+            let p = plan(
+                PartitionPlan::Confine { banks_per_task: k },
+                paper_input(),
+            );
+            assert!(
+                verify_coverage(&p, paper_input()).is_ok(),
+                "coverage must hold for k={k}"
+            );
+        }
+        // k = 8 (no exclusion) cannot cover.
+        let p = plan(
+            PartitionPlan::Confine { banks_per_task: 8 },
+            paper_input(),
+        );
+        assert!(verify_coverage(&p, paper_input()).is_err());
+    }
+
+    #[test]
+    fn hard_partitions_are_disjoint() {
+        let p = plan(PartitionPlan::Hard, paper_input());
+        assert!(p.banks.iter().all(|b| b.count() == 2));
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(
+                    p.banks[i].bits() & p.banks[j].bits(),
+                    0,
+                    "tasks {i}/{j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quad_core_1to4_plans() {
+        let input = PartitionInput {
+            total_banks: 16,
+            banks_per_rank: 8,
+            n_cores: 4,
+            n_tasks: 16,
+        };
+        let p = plan(PartitionPlan::Soft, input);
+        assert!(verify_coverage(&p, input).is_ok());
+        assert_eq!(p.cpus.iter().filter(|&&c| c == 3).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "banks_per_task")]
+    fn confine_rejects_zero() {
+        let _ = plan(
+            PartitionPlan::Confine { banks_per_task: 0 },
+            paper_input(),
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! The process scheduler: baseline CFS and the paper's refresh-aware
+//! `pick_next_task` (Algorithm 3).
+
+use serde::{Deserialize, Serialize};
+
+use refsim_dram::time::Ps;
+
+use crate::cfs::CfsRunqueue;
+use crate::task::{Task, TaskId, TaskState};
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedPolicy {
+    /// Baseline CFS: always pick the leftmost task (with equal weights
+    /// and equal time slices this degenerates to round-robin, matching
+    /// the paper's baseline, footnote 10).
+    Cfs,
+    /// Algorithm 3: skip runnable tasks that would touch the bank being
+    /// refreshed in the upcoming quantum.
+    RefreshAware {
+        /// Fairness threshold `η_thresh` (§5.4): after examining this
+        /// many candidates the scheduler falls back to the leftmost task.
+        /// `1` disables refresh awareness entirely.
+        eta_thresh: u32,
+        /// §5.4.1's best-effort variant for high-footprint tasks: when no
+        /// task fully avoids the bank, pick the examined candidate with
+        /// the least data on it (instead of simply the leftmost).
+        best_effort: bool,
+    },
+}
+
+impl SchedPolicy {
+    /// The co-design default: η = 4, best-effort enabled. η must be at
+    /// least the consolidation ratio (tasks per core) for the scheduler
+    /// to always reach the one task group whose exclusion window covers
+    /// the bank being refreshed; with the paper's 1:4 ratio that is 4.
+    pub fn refresh_aware() -> Self {
+        SchedPolicy::RefreshAware {
+            eta_thresh: 4,
+            best_effort: true,
+        }
+    }
+}
+
+/// Scheduler counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// `pick_next` invocations.
+    pub picks: u64,
+    /// Picks where a refresh-colliding task was skipped over.
+    pub refresh_dodges: u64,
+    /// Picks where η forced the fairness fallback.
+    pub eta_fallbacks: u64,
+    /// Tasks migrated by the load balancer.
+    pub migrations: u64,
+}
+
+/// Per-CPU-runqueue process scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use refsim_os::bank_alloc::BankVector;
+/// use refsim_os::sched::{SchedPolicy, Scheduler};
+/// use refsim_os::task::{Task, TaskId};
+/// use refsim_dram::time::Ps;
+///
+/// let mut sched = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 2);
+/// let mut t = Task::new(TaskId(0), "mcf", 0, BankVector::all(16), 16);
+/// sched.enqueue(&mut t);
+/// let picked = sched.pick_next(0, None, &mut [t]);
+/// assert_eq!(picked, Some(TaskId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: SchedPolicy,
+    timeslice: Ps,
+    queues: Vec<CfsRunqueue>,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `cpus` CPUs with the given quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero or the timeslice is zero.
+    pub fn new(policy: SchedPolicy, timeslice: Ps, cpus: u32) -> Self {
+        assert!(cpus > 0, "need at least one CPU");
+        assert!(timeslice > Ps::ZERO, "timeslice must be positive");
+        Scheduler {
+            policy,
+            timeslice,
+            queues: (0..cpus).map(|_| CfsRunqueue::new()).collect(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// The scheduling quantum.
+    pub fn timeslice(&self) -> Ps {
+        self.timeslice
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> u32 {
+        self.queues.len() as u32
+    }
+
+    /// Runnable tasks on `cpu`.
+    pub fn queue_len(&self, cpu: u32) -> usize {
+        self.queues[cpu as usize].len()
+    }
+
+    /// Makes `task` runnable on its CPU. New/woken tasks are floored to
+    /// the queue's `min_vruntime` so they cannot starve incumbents.
+    pub fn enqueue(&mut self, task: &mut Task) {
+        let rq = &mut self.queues[task.cpu as usize];
+        task.vruntime = task.vruntime.max(rq.min_vruntime());
+        task.state = TaskState::Runnable;
+        rq.insert(task.vruntime, task.id);
+    }
+
+    /// Picks the next task for `cpu` (Algorithm 3 when refresh-aware).
+    ///
+    /// `refresh_bank` is the global bank the hardware will refresh during
+    /// the upcoming quantum, when the refresh schedule makes that
+    /// predictable (the co-design exposure; `None` under conventional
+    /// schedules). The picked task is removed from the queue and marked
+    /// [`TaskState::Running`].
+    pub fn pick_next(
+        &mut self,
+        cpu: u32,
+        refresh_bank: Option<u32>,
+        tasks: &mut [Task],
+    ) -> Option<TaskId> {
+        self.stats.picks += 1;
+        let rq = &mut self.queues[cpu as usize];
+        if rq.is_empty() {
+            return None;
+        }
+        let chosen = match (self.policy, refresh_bank) {
+            (SchedPolicy::Cfs, _) | (SchedPolicy::RefreshAware { .. }, None) => {
+                rq.leftmost().expect("non-empty queue")
+            }
+            (
+                SchedPolicy::RefreshAware {
+                    eta_thresh,
+                    best_effort,
+                },
+                Some(bank),
+            ) => {
+                // Algorithm 3: walk candidates left-to-right; take the
+                // first whose possible_banks_vector excludes the bank to
+                // be refreshed; after η candidates, fall back.
+                let mut first_entity = None;
+                let mut found = None;
+                let mut best: Option<(u64, TaskId)> = None; // (bytes on bank, id)
+                let mut examined = 0;
+                for (_, id) in rq.iter() {
+                    let t = &tasks[id.0 as usize];
+                    examined += 1;
+                    if first_entity.is_none() {
+                        first_entity = Some(id);
+                    }
+                    if t.avoids_bank(bank) {
+                        found = Some(id);
+                        break;
+                    }
+                    let bytes = t.bytes_on_bank(bank);
+                    if best.map_or(true, |(bb, _)| bytes < bb) {
+                        best = Some((bytes, id));
+                    }
+                    if examined >= eta_thresh {
+                        break;
+                    }
+                }
+                match found {
+                    Some(id) => {
+                        if examined > 1 {
+                            self.stats.refresh_dodges += 1;
+                        }
+                        id
+                    }
+                    None => {
+                        self.stats.eta_fallbacks += 1;
+                        if best_effort {
+                            best.expect("examined at least one").1
+                        } else {
+                            first_entity.expect("non-empty queue")
+                        }
+                    }
+                }
+            }
+        };
+        let t = &mut tasks[chosen.0 as usize];
+        let removed = rq.remove(t.vruntime, chosen);
+        debug_assert!(removed, "picked task must be queued");
+        t.state = TaskState::Running;
+        t.schedules += 1;
+        Some(chosen)
+    }
+
+    /// Returns a preempted task to its queue after running for `ran`.
+    pub fn requeue(&mut self, task: &mut Task, ran: Ps) {
+        task.vruntime += ran;
+        task.cpu_time += ran;
+        self.enqueue(task);
+    }
+
+    /// Removes a task from scheduling (exit/sleep) after running for
+    /// `ran`.
+    pub fn block(&mut self, task: &mut Task, ran: Ps) {
+        task.vruntime += ran;
+        task.cpu_time += ran;
+        task.state = TaskState::Blocked;
+    }
+
+    /// CFS-style load balancing: move tasks from the longest queue to
+    /// the shortest until counts differ by at most one. Returns the
+    /// number of migrations performed.
+    pub fn balance(&mut self, tasks: &mut [Task]) -> u64 {
+        let mut moved = 0;
+        loop {
+            let (max_cpu, max_len) = (0..self.queues.len())
+                .map(|c| (c, self.queues[c].len()))
+                .max_by_key(|&(_, l)| l)
+                .expect("at least one CPU");
+            let (min_cpu, min_len) = (0..self.queues.len())
+                .map(|c| (c, self.queues[c].len()))
+                .min_by_key(|&(_, l)| l)
+                .expect("at least one CPU");
+            if max_len <= min_len + 1 {
+                break;
+            }
+            let (v, id) = self.queues[max_cpu]
+                .pop_rightmost()
+                .expect("max queue non-empty");
+            let t = &mut tasks[id.0 as usize];
+            t.cpu = min_cpu as u32;
+            // Re-floor into the destination queue.
+            t.vruntime = v.max(self.queues[min_cpu].min_vruntime());
+            self.queues[min_cpu].insert(t.vruntime, id);
+            moved += 1;
+            self.stats.migrations += 1;
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank_alloc::BankVector;
+
+    fn mk_tasks(n: u32, cpu: u32, banks: &[BankVector]) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId(i),
+                    format!("t{i}"),
+                    cpu,
+                    banks[i as usize % banks.len()],
+                    16,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cfs_round_robins_under_equal_slices() {
+        let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 1);
+        let mut tasks = mk_tasks(3, 0, &[BankVector::all(16)]);
+        for t in &mut tasks {
+            s.enqueue(t);
+        }
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            let id = s.pick_next(0, None, &mut tasks).unwrap();
+            order.push(id.0);
+            let slice = s.timeslice();
+            s.requeue(&mut tasks[id.0 as usize], slice);
+        }
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+        // Equal CPU time so far.
+        assert!(tasks.iter().all(|t| t.cpu_time == Ps::from_ms(8)));
+    }
+
+    #[test]
+    fn refresh_aware_skips_colliding_task() {
+        // Task 0 may touch bank 0; task 1 is confined away from bank 0.
+        let banks = [
+            BankVector::all(8),                      // task 0: uses bank 0
+            (1u32..8).collect::<BankVector>(),       // task 1: avoids bank 0
+        ];
+        let mut s = Scheduler::new(SchedPolicy::refresh_aware(), Ps::from_ms(4), 1);
+        let mut tasks = mk_tasks(2, 0, &banks);
+        for t in &mut tasks {
+            s.enqueue(t);
+        }
+        // Bank 0 will refresh: task 1 must be chosen although task 0 is
+        // leftmost.
+        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        assert_eq!(id, TaskId(1));
+        assert_eq!(s.stats().refresh_dodges, 1);
+        // Without a predictable refresh bank, leftmost wins.
+        s.requeue(&mut tasks[1], Ps::from_ms(4));
+        let id = s.pick_next(0, None, &mut tasks).unwrap();
+        assert_eq!(id, TaskId(0));
+    }
+
+    #[test]
+    fn eta_threshold_forces_fallback() {
+        // All tasks collide with bank 0; η = 2 examines two then falls
+        // back to the leftmost.
+        let mut s = Scheduler::new(
+            SchedPolicy::RefreshAware {
+                eta_thresh: 2,
+                best_effort: false,
+            },
+            Ps::from_ms(4),
+            1,
+        );
+        let mut tasks = mk_tasks(3, 0, &[BankVector::all(16)]);
+        for t in &mut tasks {
+            s.enqueue(t);
+        }
+        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        assert_eq!(id, TaskId(0), "fairness fallback to leftmost");
+        assert_eq!(s.stats().eta_fallbacks, 1);
+    }
+
+    #[test]
+    fn best_effort_picks_least_data_on_bank() {
+        let mut s = Scheduler::new(SchedPolicy::refresh_aware(), Ps::from_ms(4), 1);
+        let mut tasks = mk_tasks(3, 0, &[BankVector::all(16)]);
+        // All collide (bank 0 permitted); task 2 has the least data there.
+        tasks[0].note_page(0, false);
+        tasks[0].note_page(0, false);
+        tasks[1].note_page(0, false);
+        tasks[1].note_page(0, false);
+        tasks[1].note_page(0, false);
+        tasks[2].note_page(0, false);
+        for t in &mut tasks {
+            s.enqueue(t);
+        }
+        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        assert_eq!(id, TaskId(2), "least bytes on the refreshing bank");
+    }
+
+    #[test]
+    fn eta_of_one_disables_refresh_awareness() {
+        let banks = [BankVector::all(8), (1u32..8).collect::<BankVector>()];
+        let mut s = Scheduler::new(
+            SchedPolicy::RefreshAware {
+                eta_thresh: 1,
+                best_effort: false,
+            },
+            Ps::from_ms(4),
+            1,
+        );
+        let mut tasks = mk_tasks(2, 0, &banks);
+        for t in &mut tasks {
+            s.enqueue(t);
+        }
+        // η = 1: examine one candidate (the leftmost, which collides) and
+        // immediately fall back to it.
+        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        assert_eq!(id, TaskId(0));
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 2);
+        assert_eq!(s.pick_next(1, None, &mut []), None);
+    }
+
+    #[test]
+    fn vruntime_floor_prevents_starvation_by_new_task() {
+        let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 1);
+        let mut tasks = mk_tasks(2, 0, &[BankVector::all(16)]);
+        s.enqueue(&mut tasks[0]);
+        // Task 0 runs for a long time.
+        let id = s.pick_next(0, None, &mut tasks).unwrap();
+        s.requeue(&mut tasks[id.0 as usize], Ps::from_ms(400));
+        // A newly woken task starts at the queue floor (task 0's new
+        // vruntime), not at zero — so it cannot monopolize the CPU; the
+        // two tasks tie and then alternate.
+        s.enqueue(&mut tasks[1]);
+        assert_eq!(tasks[1].vruntime, Ps::from_ms(400));
+        let first = s.pick_next(0, None, &mut tasks).unwrap();
+        assert_eq!(first, TaskId(0), "tie broken by id");
+        s.requeue(&mut tasks[0], Ps::from_ms(4));
+        let second = s.pick_next(0, None, &mut tasks).unwrap();
+        assert_eq!(second, TaskId(1));
+    }
+
+    #[test]
+    fn balance_equalizes_queues() {
+        let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 2);
+        let mut tasks = mk_tasks(4, 0, &[BankVector::all(16)]);
+        for t in &mut tasks {
+            s.enqueue(t); // all on CPU 0
+        }
+        assert_eq!(s.queue_len(0), 4);
+        assert_eq!(s.queue_len(1), 0);
+        let moved = s.balance(&mut tasks);
+        assert_eq!(moved, 2);
+        assert_eq!(s.queue_len(0), 2);
+        assert_eq!(s.queue_len(1), 2);
+        // Migrated tasks know their new CPU.
+        let on1 = tasks.iter().filter(|t| t.cpu == 1).count();
+        assert_eq!(on1, 2);
+    }
+
+    #[test]
+    fn block_removes_from_scheduling() {
+        let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 1);
+        let mut tasks = mk_tasks(1, 0, &[BankVector::all(16)]);
+        s.enqueue(&mut tasks[0]);
+        let id = s.pick_next(0, None, &mut tasks).unwrap();
+        s.block(&mut tasks[id.0 as usize], Ps::from_ms(1));
+        assert_eq!(tasks[0].state, TaskState::Blocked);
+        assert_eq!(s.pick_next(0, None, &mut tasks), None);
+    }
+}

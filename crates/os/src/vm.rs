@@ -1,0 +1,123 @@
+//! Per-task virtual memory: demand-paged page tables.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank_alloc::PAGE_BYTES;
+use crate::buddy::Frame;
+
+/// A task's virtual→physical mapping, filled on demand.
+///
+/// # Examples
+///
+/// ```
+/// use refsim_os::vm::AddressSpace;
+///
+/// let mut mm = AddressSpace::new();
+/// assert_eq!(mm.translate(0x1234), None); // not yet faulted in
+/// mm.map(0x1000, 42);
+/// assert_eq!(mm.translate(0x1234), Some(42 * 4096 + 0x234));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AddressSpace {
+    page_table: HashMap<u64, Frame>,
+    /// Demand faults taken (== pages mapped).
+    faults: u64,
+}
+
+impl AddressSpace {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Virtual page number of `vaddr`.
+    pub fn vpn(vaddr: u64) -> u64 {
+        vaddr / PAGE_BYTES
+    }
+
+    /// Translates a virtual address, or `None` if the page is unmapped
+    /// (page fault).
+    pub fn translate(&self, vaddr: u64) -> Option<u64> {
+        self.page_table
+            .get(&Self::vpn(vaddr))
+            .map(|f| f * PAGE_BYTES + vaddr % PAGE_BYTES)
+    }
+
+    /// Installs a mapping for `vaddr`'s page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped (double fault handling is a
+    /// kernel bug).
+    pub fn map(&mut self, vaddr: u64, frame: Frame) {
+        let prev = self.page_table.insert(Self::vpn(vaddr), frame);
+        assert!(prev.is_none(), "page {:#x} double-mapped", Self::vpn(vaddr));
+        self.faults += 1;
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> u64 {
+        self.page_table.len() as u64
+    }
+
+    /// Resident set size in bytes.
+    pub fn rss_bytes(&self) -> u64 {
+        self.resident_pages() * PAGE_BYTES
+    }
+
+    /// Demand faults taken so far.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Iterates over `(vpn, frame)` mappings (deterministic order not
+    /// guaranteed; used for teardown and statistics).
+    pub fn mappings(&self) -> impl Iterator<Item = (u64, Frame)> + '_ {
+        self.page_table.iter().map(|(&v, &f)| (v, f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translate_miss_then_hit() {
+        let mut mm = AddressSpace::new();
+        assert_eq!(mm.translate(0x5000), None);
+        mm.map(0x5000, 7);
+        assert_eq!(mm.translate(0x5000), Some(7 * 4096));
+        assert_eq!(mm.translate(0x5fff), Some(7 * 4096 + 0xfff));
+        assert_eq!(mm.translate(0x6000), None);
+        assert_eq!(mm.faults(), 1);
+        assert_eq!(mm.resident_pages(), 1);
+        assert_eq!(mm.rss_bytes(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-mapped")]
+    fn double_map_panics() {
+        let mut mm = AddressSpace::new();
+        mm.map(0x1000, 1);
+        mm.map(0x1fff, 2); // same page
+    }
+
+    #[test]
+    fn vpn_math() {
+        assert_eq!(AddressSpace::vpn(0), 0);
+        assert_eq!(AddressSpace::vpn(4095), 0);
+        assert_eq!(AddressSpace::vpn(4096), 1);
+    }
+
+    #[test]
+    fn mappings_iterates_all() {
+        let mut mm = AddressSpace::new();
+        mm.map(0x1000, 10);
+        mm.map(0x2000, 20);
+        let mut v: Vec<_> = mm.mappings().collect();
+        v.sort_unstable();
+        assert_eq!(v, vec![(1, 10), (2, 20)]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # refsim-workloads
+//!
+//! Synthetic models of the SPEC CPU2006, STREAM and NAS programs used in
+//! *"Hardware-Software Co-design to Mitigate DRAM Refresh Overheads"*
+//! (ASPLOS'17): deterministic address-stream generators calibrated to the
+//! paper's MPKI classes and reported footprints, plus Table 2's
+//! multi-programmed workload mixes.
+//!
+//! The real benchmark binaries and reference inputs are not available in
+//! this environment; DESIGN.md §2 documents why these models preserve the
+//! behavior the paper's experiments measure (memory intensity class,
+//! footprint, row locality, and memory-level parallelism character).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod mix;
+pub mod pattern;
+pub mod profiles;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::mix::{by_name, table2, WorkloadMix};
+    pub use crate::pattern::{MemAccess, PatternKind, PatternState};
+    pub use crate::profiles::{Benchmark, BenchmarkProfile, MpkiClass, Op, TaskWorkload};
+}

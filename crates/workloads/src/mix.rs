@@ -1,0 +1,189 @@
+//! Multi-programmed workload mixes: Table 2's WL-1 … WL-10 plus the
+//! consolidation-ratio variants of the sensitivity study (§6.6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::profiles::Benchmark;
+
+/// A named multi-programmed workload: an ordered list of tasks, each
+/// running one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Name as used in the paper ("WL-1" …).
+    pub name: String,
+    /// One entry per task.
+    pub tasks: Vec<Benchmark>,
+    /// Table 2's MPKI-category label ("H", "M + L", …).
+    pub category: String,
+}
+
+impl WorkloadMix {
+    /// Builds a mix from `(benchmark, count)` groups, e.g. Table 2's
+    /// "mcf(4), povray(4)".
+    pub fn from_groups(
+        name: impl Into<String>,
+        groups: &[(Benchmark, usize)],
+        category: impl Into<String>,
+    ) -> Self {
+        let mut tasks = Vec::new();
+        for &(b, n) in groups {
+            tasks.extend(std::iter::repeat(b).take(n));
+        }
+        WorkloadMix {
+            name: name.into(),
+            tasks,
+            category: category.into(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the mix has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total declared footprint of all tasks in bytes.
+    pub fn total_footprint(&self) -> u64 {
+        self.tasks.iter().map(|b| b.profile().footprint).sum()
+    }
+
+    /// Rescales the mix to `n` tasks by repeating (or truncating) the
+    /// benchmark sequence — used by the sensitivity sweeps, which run the
+    /// same mixes at different core counts and consolidation ratios.
+    pub fn resized(&self, n: usize) -> WorkloadMix {
+        let tasks = self.tasks.iter().copied().cycle().take(n).collect();
+        WorkloadMix {
+            name: self.name.clone(),
+            tasks,
+            category: self.category.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}] {{", self.name, self.category)?;
+        let mut first = true;
+        let mut iter = self.tasks.iter().peekable();
+        while let Some(b) = iter.next() {
+            let mut n = 1;
+            while iter.peek() == Some(&b) {
+                iter.next();
+                n += 1;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}({n})")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Table 2: the ten dual-core (1:4 consolidation) workloads.
+pub fn table2() -> Vec<WorkloadMix> {
+    use Benchmark::*;
+    vec![
+        WorkloadMix::from_groups("WL-1", &[(Mcf, 8)], "H"),
+        WorkloadMix::from_groups("WL-2", &[(Povray, 8)], "L"),
+        WorkloadMix::from_groups("WL-3", &[(H264ref, 8)], "L"),
+        WorkloadMix::from_groups("WL-4", &[(Povray, 4), (H264ref, 4)], "L"),
+        WorkloadMix::from_groups("WL-5", &[(GemsFdtd, 8)], "M"),
+        WorkloadMix::from_groups("WL-6", &[(Mcf, 4), (Povray, 4)], "H + L"),
+        WorkloadMix::from_groups("WL-7", &[(Stream, 4), (H264ref, 4)], "M + L"),
+        WorkloadMix::from_groups("WL-8", &[(Bwaves, 4), (H264ref, 4)], "H + L"),
+        WorkloadMix::from_groups("WL-9", &[(NpbUa, 4), (Povray, 4)], "M + L"),
+        WorkloadMix::from_groups(
+            "WL-10",
+            &[(Mcf, 4), (Bwaves, 2), (Povray, 2)],
+            "H + L",
+        ),
+    ]
+}
+
+/// Looks a Table 2 mix up by name (`"WL-7"`).
+pub fn by_name(name: &str) -> Option<WorkloadMix> {
+    table2().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::MpkiClass;
+
+    #[test]
+    fn table2_has_ten_mixes_of_eight_tasks() {
+        let t = table2();
+        assert_eq!(t.len(), 10);
+        for m in &t {
+            assert_eq!(m.len(), 8, "{} should have 8 tasks", m.name);
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn wl1_is_eight_mcf_class_h() {
+        let m = by_name("WL-1").unwrap();
+        assert!(m.tasks.iter().all(|b| *b == Benchmark::Mcf));
+        assert_eq!(m.category, "H");
+        assert_eq!(m.tasks[0].profile().class, MpkiClass::High);
+    }
+
+    #[test]
+    fn wl10_grouping_matches_table() {
+        let m = by_name("WL-10").unwrap();
+        assert_eq!(
+            m.tasks,
+            vec![
+                Benchmark::Mcf,
+                Benchmark::Mcf,
+                Benchmark::Mcf,
+                Benchmark::Mcf,
+                Benchmark::Bwaves,
+                Benchmark::Bwaves,
+                Benchmark::Povray,
+                Benchmark::Povray,
+            ]
+        );
+    }
+
+    #[test]
+    fn wl1_footprint_matches_section_5_4_1() {
+        // 8 × 1.7 GB = 13.6 GB; §5.4.1 reports 27.2 GB for the quad-core
+        // 16-task variant, i.e. exactly 2× this.
+        let m = by_name("WL-1").unwrap();
+        let quad = m.resized(16);
+        assert_eq!(quad.total_footprint(), 2 * m.total_footprint());
+        let gb = m.total_footprint() as f64 / (1u64 << 30) as f64;
+        assert!((13.5..=13.7).contains(&gb), "WL-1 footprint {gb} GB");
+    }
+
+    #[test]
+    fn resized_cycles_tasks() {
+        let m = by_name("WL-4").unwrap();
+        let small = m.resized(4);
+        assert_eq!(small.len(), 4);
+        assert_eq!(small.tasks, m.tasks[..4].to_vec());
+        let big = m.resized(16);
+        assert_eq!(big.tasks[8..], m.tasks[..]);
+    }
+
+    #[test]
+    fn display_groups_runs() {
+        let m = by_name("WL-10").unwrap();
+        assert_eq!(
+            m.to_string(),
+            "WL-10 [H + L] {mcf(4), bwaves(2), povray(2)}"
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("WL-99").is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the workload models.
+
+use proptest::prelude::*;
+
+use refsim_workloads::mix::{table2, WorkloadMix};
+use refsim_workloads::pattern::{PatternKind, PatternState};
+use refsim_workloads::profiles::{Benchmark, TaskWorkload};
+
+fn arb_bench() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    /// Generated addresses always stay inside the declared footprint and
+    /// dependent accesses are always loads.
+    #[test]
+    fn addresses_in_footprint(bench in arb_bench(), seed in any::<u64>()) {
+        let mut w = TaskWorkload::new(bench, seed);
+        let fp = bench.profile().footprint;
+        for _ in 0..2_000 {
+            let op = w.next_op();
+            if let Some(m) = op.mem {
+                prop_assert!(m.vaddr < fp);
+                if m.dependent {
+                    prop_assert!(!m.write);
+                }
+            }
+        }
+    }
+
+    /// The same seed regenerates the identical stream; the stream is an
+    /// infinite generator (never panics).
+    #[test]
+    fn stream_determinism(bench in arb_bench(), seed in any::<u64>()) {
+        let collect = |s| {
+            let mut w = TaskWorkload::new(bench, s);
+            (0..256).map(|_| w.next_op()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(collect(seed), collect(seed));
+    }
+
+    /// Measured memory-instruction density converges to the profile's
+    /// `mem_per_mille` within 10%.
+    #[test]
+    fn mem_density_converges(bench in arb_bench(), seed in any::<u64>()) {
+        let mut w = TaskWorkload::new(bench, seed);
+        let mut instr = 0u64;
+        let mut mem = 0u64;
+        for _ in 0..20_000 {
+            let op = w.next_op();
+            instr += u64::from(op.non_mem) + 1;
+            mem += u64::from(op.mem.is_some());
+        }
+        let target = f64::from(bench.profile().mem_per_mille);
+        let measured = mem as f64 * 1000.0 / instr as f64;
+        prop_assert!(
+            (measured - target).abs() <= target * 0.10,
+            "{bench}: measured {measured}, target {target}"
+        );
+    }
+
+    /// Streaming patterns visit strictly increasing offsets per stream
+    /// (mod wrap) and never leave the region.
+    #[test]
+    fn streaming_pattern_bounds(
+        streams in 1u32..8,
+        stride in 1u64..256,
+        size_exp in 12u32..24,
+        steps in 1usize..500,
+        seed in any::<u64>(),
+    ) {
+        let size = 1u64 << size_exp;
+        let mut p = PatternState::new(PatternKind::Streaming { streams, stride }, size);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for _ in 0..steps {
+            let (off, dep) = p.next(&mut rng);
+            prop_assert!(off < size);
+            prop_assert!(!dep);
+        }
+    }
+
+    /// Resizing a mix preserves the cyclic benchmark order.
+    #[test]
+    fn resize_cycles(n in 1usize..40) {
+        for mix in table2() {
+            let r = mix.resized(n);
+            prop_assert_eq!(r.len(), n);
+            for (i, b) in r.tasks.iter().enumerate() {
+                prop_assert_eq!(*b, mix.tasks[i % mix.len()]);
+            }
+        }
+    }
+
+    /// from_groups expands counts exactly.
+    #[test]
+    fn groups_expand(a in 0usize..6, b in 0usize..6) {
+        prop_assume!(a + b > 0);
+        let m = WorkloadMix::from_groups(
+            "g",
+            &[(Benchmark::Mcf, a), (Benchmark::Povray, b)],
+            "X",
+        );
+        prop_assert_eq!(m.len(), a + b);
+        prop_assert!(m.tasks[..a].iter().all(|x| *x == Benchmark::Mcf));
+        prop_assert!(m.tasks[a..].iter().all(|x| *x == Benchmark::Povray));
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate one multi-programmed workload under the baseline
+//! (all-bank refresh, bank-agnostic allocation, plain CFS) and under the
+//! full co-design, and compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use refsim::core::config::SystemConfig;
+use refsim::core::system::System;
+use refsim::workloads::mix::by_name;
+
+fn main() {
+    // The paper's Table 1 machine, with the retention window shrunk 64×
+    // so the example finishes in seconds (all refresh-overhead ratios
+    // are preserved; see DESIGN.md).
+    let base = SystemConfig::table1().with_time_scale(64);
+    let mix = by_name("WL-5").expect("Table 2 defines WL-5");
+    println!("workload: {mix}");
+    println!(
+        "machine:  {} cores, {} banks, {} density, tREFW {}\n",
+        base.n_cores,
+        base.total_banks(),
+        base.density,
+        base.trefw(),
+    );
+
+    let baseline = System::new(base.clone(), &mix).run();
+    let codesign = System::new(base.co_design(), &mix).run();
+
+    println!("{:22} {:>10} {:>12}", "", "baseline", "co-design");
+    println!(
+        "{:22} {:>10.4} {:>12.4}",
+        "harmonic-mean IPC",
+        baseline.hmean_ipc(),
+        codesign.hmean_ipc()
+    );
+    println!(
+        "{:22} {:>10.1} {:>12.1}",
+        "avg mem latency (cyc)",
+        baseline.avg_read_latency_cycles(),
+        codesign.avg_read_latency_cycles()
+    );
+    println!(
+        "{:22} {:>10} {:>12}",
+        "refresh-blocked reads",
+        baseline.controller.refresh_blocked_reads,
+        codesign.controller.refresh_blocked_reads
+    );
+    println!(
+        "\nco-design speedup over all-bank refresh: {:.1}%",
+        (codesign.speedup_over(&baseline) - 1.0) * 100.0
+    );
+}

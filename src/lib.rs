@@ -1,0 +1,56 @@
+//! # refsim
+//!
+//! A cycle-level DRAM-refresh / operating-system co-simulation in Rust,
+//! reproducing **"Hardware-Software Co-design to Mitigate DRAM Refresh
+//! Overheads: A Case for Refresh-Aware Process Scheduling"**
+//! (ASPLOS 2017).
+//!
+//! The facade re-exports the five sub-crates:
+//!
+//! * [`dram`] — DDR3/DDR4 bank/rank timing, FR-FCFS memory controller,
+//!   and all refresh policies, including the paper's sequential
+//!   per-bank schedule (Algorithm 1).
+//! * [`cpu`] — out-of-order core timing model and L1/L2 caches.
+//! * [`os`] — buddy allocator with bank-aware partitioning (Algorithm
+//!   2), virtual memory, and CFS with refresh-aware scheduling
+//!   (Algorithm 3).
+//! * [`workloads`] — synthetic SPEC CPU2006 / STREAM / NAS models and
+//!   Table 2's multi-programmed mixes.
+//! * [`core`] — the composed system, configuration presets, metrics and
+//!   the experiment harness for every figure in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use refsim::core::config::SystemConfig;
+//! use refsim::core::system::System;
+//! use refsim::workloads::mix::by_name;
+//!
+//! // Compare all-bank refresh against the full co-design on WL-5,
+//! // shrunk to a very small time scale so this doctest stays fast.
+//! let mut base = SystemConfig::table1().with_time_scale(1024);
+//! base.warmup = base.trefw() / 4;
+//! base.measure = base.trefw() / 2;
+//! let mix = by_name("WL-5").unwrap();
+//!
+//! let baseline = System::new(base.clone(), &mix).run();
+//! let codesign = System::new(base.co_design(), &mix).run();
+//! assert!(codesign.speedup_over(&baseline) > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use refsim_core as core;
+pub use refsim_cpu as cpu;
+pub use refsim_dram as dram;
+pub use refsim_os as os;
+pub use refsim_workloads as workloads;
+
+/// Everything most users need.
+pub mod prelude {
+    pub use refsim_core::prelude::*;
+    pub use refsim_cpu::prelude::*;
+    pub use refsim_dram::prelude::*;
+    pub use refsim_os::prelude::*;
+    pub use refsim_workloads::prelude::*;
+}

@@ -1,0 +1,86 @@
+//! Workload-calibration integration tests: each synthetic benchmark,
+//! run through the full system (cores + caches + DRAM), must land in the
+//! MPKI class Table 2 assigns to it, and relative intensities must
+//! order as in the paper.
+
+use refsim::core::config::SystemConfig;
+use refsim::core::system::System;
+use refsim::workloads::mix::WorkloadMix;
+use refsim::workloads::profiles::{Benchmark, MpkiClass};
+
+fn solo_mpki(bench: Benchmark) -> f64 {
+    let mut cfg = SystemConfig::table1().with_time_scale(512);
+    cfg.warmup = cfg.trefw() / 4;
+    cfg.measure = cfg.trefw();
+    let mix = WorkloadMix::from_groups(bench.name(), &[(bench, 2)], "solo");
+    let m = System::new(cfg, &mix).run();
+    m.mpki()
+}
+
+#[test]
+fn benchmarks_land_in_their_table2_classes() {
+    for bench in Benchmark::FIGURE5 {
+        let mpki = solo_mpki(bench);
+        let expected = bench.profile().class;
+        let measured = MpkiClass::of(mpki);
+        assert_eq!(
+            measured, expected,
+            "{bench}: measured MPKI {mpki:.2} lands in {measured:?}, Table 2 says {expected:?}"
+        );
+    }
+}
+
+#[test]
+fn mcf_is_the_most_intensive() {
+    let mcf = solo_mpki(Benchmark::Mcf);
+    for other in [Benchmark::GemsFdtd, Benchmark::Stream, Benchmark::Povray] {
+        assert!(
+            mcf > solo_mpki(other),
+            "mcf must out-miss {other}"
+        );
+    }
+}
+
+#[test]
+fn low_class_benchmarks_barely_miss() {
+    for bench in [Benchmark::Povray, Benchmark::H264ref] {
+        let mpki = solo_mpki(bench);
+        assert!(mpki < 1.0, "{bench} MPKI {mpki} should be < 1");
+        assert!(mpki > 0.0, "{bench} should still miss occasionally");
+    }
+}
+
+#[test]
+fn streaming_benchmarks_have_high_row_locality_solo() {
+    // Intrinsic locality is measured solo (one task, one core): two
+    // co-running bank-agnostic streams interfere in the row buffers —
+    // the very effect §2.3's bank-partitioning citations address — so
+    // the multiprogrammed rate is legitimately much lower.
+    let mut cfg = SystemConfig::table1().with_time_scale(512);
+    cfg.warmup = cfg.trefw() / 4;
+    cfg.measure = cfg.trefw();
+    let mix = WorkloadMix::from_groups("stream", &[(Benchmark::Stream, 1)], "M");
+    let stream = System::new(cfg.clone(), &mix).run();
+    let mix = WorkloadMix::from_groups("mcf", &[(Benchmark::Mcf, 1)], "H");
+    let mcf = System::new(cfg, &mix).run();
+    let s = stream.controller.row_hit_rate().unwrap_or(0.0);
+    let m = mcf.controller.row_hit_rate().unwrap_or(0.0);
+    assert!(s > 0.8, "solo stream should be row-hit dominated, got {s:.2}");
+    assert!(s > m, "stream row-hit rate {s:.2} must exceed mcf's {m:.2}");
+}
+
+#[test]
+fn footprints_grow_resident_sets_on_demand() {
+    let mut cfg = SystemConfig::table1().with_time_scale(512);
+    cfg.warmup = cfg.trefw() / 8;
+    cfg.measure = cfg.trefw() / 4;
+    let mix = WorkloadMix::from_groups("mcf", &[(Benchmark::Mcf, 1)], "H");
+    let mut sys = System::new(cfg, &mix);
+    sys.run();
+    let t = &sys.tasks()[0];
+    // Demand paging: resident set grows with touched pages but stays far
+    // below the 1.7 GB declared footprint in a short run.
+    assert!(t.mm.resident_pages() > 10);
+    assert!(t.mm.rss_bytes() < Benchmark::Mcf.profile().footprint);
+    assert_eq!(t.mm.faults(), t.mm.resident_pages());
+}

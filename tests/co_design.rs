@@ -1,0 +1,287 @@
+//! End-to-end integration tests of the full co-design stack: DRAM
+//! refresh scheduling ⇄ memory partitioning ⇄ refresh-aware process
+//! scheduling, exercised through the public facade.
+//!
+//! These use small time scales and fractional windows so they stay fast
+//! in debug builds; the bench binaries run the full-fidelity versions.
+
+use refsim::core::config::SystemConfig;
+use refsim::core::system::System;
+use refsim::dram::refresh::RefreshPolicyKind;
+use refsim::dram::time::Ps;
+use refsim::dram::timing::Retention;
+use refsim::os::partition::PartitionPlan;
+use refsim::os::sched::SchedPolicy;
+use refsim::workloads::mix::WorkloadMix;
+use refsim::workloads::profiles::Benchmark;
+
+/// A fast test configuration (tiny retention window).
+fn tiny(cfg: SystemConfig) -> SystemConfig {
+    let mut c = cfg.with_time_scale(512);
+    c.warmup = c.trefw() / 4;
+    c.measure = c.trefw();
+    c
+}
+
+fn medium_mix() -> WorkloadMix {
+    WorkloadMix::from_groups(
+        "gems-mix",
+        &[(Benchmark::GemsFdtd, 4), (Benchmark::Povray, 4)],
+        "M + L",
+    )
+}
+
+#[test]
+fn scheme_ordering_matches_paper() {
+    // The paper's central result, end to end: no-refresh ≥ co-design >
+    // per-bank > all-bank for a medium-intensity mix.
+    let base = tiny(SystemConfig::table1());
+    let mix = medium_mix();
+    let all_bank = System::new(base.clone(), &mix).run();
+    let per_bank = System::new(
+        base.clone()
+            .with_refresh(RefreshPolicyKind::PerBankRoundRobin),
+        &mix,
+    )
+    .run();
+    let co_design = System::new(base.clone().co_design(), &mix).run();
+    let no_refresh = System::new(
+        base.clone().with_refresh(RefreshPolicyKind::NoRefresh),
+        &mix,
+    )
+    .run();
+    let ab = all_bank.hmean_ipc();
+    let pb = per_bank.hmean_ipc();
+    let cd = co_design.hmean_ipc();
+    let nr = no_refresh.hmean_ipc();
+    assert!(pb > ab, "per-bank {pb} must beat all-bank {ab}");
+    assert!(cd > pb, "co-design {cd} must beat per-bank {pb}");
+    assert!(nr > ab, "no-refresh {nr} must beat all-bank {ab}");
+    // The co-design may legitimately exceed the *unpartitioned*
+    // no-refresh system: beyond hiding refresh it also partitions banks
+    // and co-schedules complementary task groups, both of which reduce
+    // cross-task row-buffer interference. Bound the excess for sanity.
+    assert!(
+        cd <= nr * 1.3,
+        "co-design {cd} implausibly above the no-refresh system {nr}"
+    );
+}
+
+#[test]
+fn co_design_eliminates_most_refresh_blocking() {
+    let base = tiny(SystemConfig::table1());
+    let mix = medium_mix();
+    let baseline = System::new(base.clone(), &mix).run();
+    let codesign = System::new(base.co_design(), &mix).run();
+    assert!(baseline.controller.refresh_blocked_reads > 0);
+    // The refresh-aware schedule should remove the large majority of
+    // refresh-blocked demand reads.
+    assert!(
+        codesign.controller.refresh_blocked_reads * 4
+            < baseline.controller.refresh_blocked_reads,
+        "co-design blocked {} vs baseline {}",
+        codesign.controller.refresh_blocked_reads,
+        baseline.controller.refresh_blocked_reads
+    );
+}
+
+#[test]
+fn lower_retention_hurts_more_and_codesign_recovers_more() {
+    let base64 = tiny(SystemConfig::table1());
+    let base32 = tiny(SystemConfig::table1().with_retention(Retention::Ms32));
+    let mix = medium_mix();
+
+    let deg = |base: &SystemConfig| {
+        let ab = System::new(base.clone(), &mix).run();
+        let nr = System::new(
+            base.clone().with_refresh(RefreshPolicyKind::NoRefresh),
+            &mix,
+        )
+        .run();
+        1.0 - ab.hmean_ipc() / nr.hmean_ipc()
+    };
+    let d64 = deg(&base64);
+    let d32 = deg(&base32);
+    assert!(
+        d32 > d64,
+        "32 ms retention must degrade more (64ms: {d64:.3}, 32ms: {d32:.3})"
+    );
+
+    let gain = |base: &SystemConfig| {
+        let ab = System::new(base.clone(), &mix).run();
+        let cd = System::new(base.clone().co_design(), &mix).run();
+        cd.speedup_over(&ab)
+    };
+    assert!(
+        gain(&base32) > gain(&base64),
+        "the co-design should pay off more at 32 ms retention"
+    );
+}
+
+#[test]
+fn density_scaling_increases_refresh_pain() {
+    use refsim::dram::timing::Density;
+    let mix = medium_mix();
+    let mut degs = Vec::new();
+    for d in [Density::Gb8, Density::Gb32] {
+        let base = tiny(SystemConfig::table1().with_density(d));
+        let ab = System::new(base.clone(), &mix).run();
+        let nr = System::new(
+            base.with_refresh(RefreshPolicyKind::NoRefresh),
+            &mix,
+        )
+        .run();
+        degs.push(1.0 - ab.hmean_ipc() / nr.hmean_ipc());
+    }
+    assert!(
+        degs[1] > degs[0],
+        "32 Gb (tRFC 890ns) must degrade more than 8 Gb (350ns): {degs:?}"
+    );
+}
+
+#[test]
+fn partition_confines_all_pages_and_sched_dodges() {
+    let base = tiny(SystemConfig::table1()).co_design();
+    let mix = medium_mix();
+    let mut sys = System::new(base, &mix);
+    let m = sys.run();
+    // Scheduler made refresh-aware decisions.
+    assert!(m.sched.picks > 0);
+    assert!(
+        m.sched.eta_fallbacks == 0,
+        "perfect partition must never hit the fairness fallback, got {}",
+        m.sched.eta_fallbacks
+    );
+    // Memory stayed inside each task's permitted banks.
+    for t in sys.tasks() {
+        assert_eq!(t.spilled_pages, 0, "{} spilled", t.id);
+        let total: u64 = t.bytes_per_bank.iter().sum();
+        assert!(total > 0, "{} allocated nothing", t.id);
+    }
+}
+
+#[test]
+fn hard_partition_is_valid_but_not_better_than_soft() {
+    // §5.2.1: soft partitioning wins as consolidation grows because it
+    // preserves bank-level parallelism. Verify hard partitioning at
+    // least runs correctly and confines exclusively.
+    let base = tiny(SystemConfig::table1())
+        .co_design()
+        .with_partition(PartitionPlan::Hard);
+    let mix = medium_mix();
+    let mut sys = System::new(base, &mix);
+    let m = sys.run();
+    assert!(m.hmean_ipc() > 0.0);
+    // Exclusive ownership: no two tasks share a bank with data on it.
+    let tasks = sys.tasks();
+    for a in 0..tasks.len() {
+        for b in (a + 1)..tasks.len() {
+            for bank in 0..16 {
+                assert!(
+                    tasks[a].bytes_on_bank(bank) == 0 || tasks[b].bytes_on_bank(bank) == 0,
+                    "tasks {a}/{b} both own data on bank {bank}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eta_one_disables_the_scheduler_half() {
+    let base = tiny(SystemConfig::table1());
+    let mix = medium_mix();
+    let full = System::new(base.clone().co_design(), &mix).run();
+    let eta1 = System::new(
+        base.co_design().with_sched(SchedPolicy::RefreshAware {
+            eta_thresh: 1,
+            best_effort: false,
+        }),
+        &mix,
+    )
+    .run();
+    // η = 1 falls back to the leftmost task immediately, so performance
+    // must not exceed the full co-design.
+    assert!(eta1.hmean_ipc() <= full.hmean_ipc() * 1.005);
+    assert_eq!(full.sched.eta_fallbacks, 0);
+    assert!(eta1.sched.eta_fallbacks > 0);
+}
+
+#[test]
+fn fgr_modes_lose_to_1x_on_average() {
+    use refsim::dram::timing::FgrMode;
+    // §6.3: 2x/4x issue more refreshes whose tRFC shrinks sub-linearly,
+    // so they underperform 1x for memory-intensive work.
+    let mix = WorkloadMix::from_groups("bw", &[(Benchmark::Bwaves, 4)], "H");
+    let base = tiny(SystemConfig::table1());
+    let x1 = System::new(
+        base.clone().with_refresh(RefreshPolicyKind::Fgr(FgrMode::X1)),
+        &mix,
+    )
+    .run();
+    let x4 = System::new(
+        base.with_refresh(RefreshPolicyKind::Fgr(FgrMode::X4)),
+        &mix,
+    )
+    .run();
+    assert!(
+        x4.hmean_ipc() < x1.hmean_ipc(),
+        "4x {} must underperform 1x {}",
+        x4.hmean_ipc(),
+        x1.hmean_ipc()
+    );
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let base = tiny(SystemConfig::table1()).co_design();
+    let mix = medium_mix();
+    let a = System::new(base.clone(), &mix).run();
+    let b = System::new(base, &mix).run();
+    assert_eq!(a.tasks, b.tasks);
+    assert_eq!(a.controller, b.controller);
+}
+
+#[test]
+fn seed_changes_results_but_not_shape() {
+    let mix = medium_mix();
+    let base = tiny(SystemConfig::table1());
+    let a = System::new(base.clone().with_seed(1), &mix).run();
+    let b = System::new(base.with_seed(2), &mix).run();
+    assert_ne!(a.tasks, b.tasks, "different seeds must differ");
+    let rel = (a.hmean_ipc() - b.hmean_ipc()).abs() / a.hmean_ipc();
+    assert!(rel < 0.1, "seeds should not change IPC by {rel:.3}");
+}
+
+#[test]
+fn quanta_follow_refresh_slices_at_32ms() {
+    // At 32 ms retention the serial one-bank-at-a-time schedule cannot
+    // fit its commands (tREFIab/16 < tRFCpb), so the parallel per-rank
+    // schedule is used and the quantum is tREFW / banksPerRank = 4 ms.
+    // (The paper's footnote 12 quotes a 2 ms slice, which is infeasible
+    // under its own tRFCpb — see DESIGN.md.)
+    let cfg = SystemConfig::table1()
+        .with_retention(Retention::Ms32)
+        .with_time_scale(1);
+    assert_eq!(cfg.effective_timeslice(), Ps::from_ms(4));
+}
+
+#[test]
+fn quad_core_consolidation_runs() {
+    let mut cfg = tiny(SystemConfig::table1().with_cores(4)).co_design();
+    cfg.measure = cfg.trefw() / 2;
+    let mix = medium_mix().resized(16);
+    let m = System::new(cfg, &mix).run();
+    assert_eq!(m.tasks.len(), 16);
+    assert!(m.tasks.iter().all(|t| t.instructions > 0));
+}
+
+#[test]
+fn two_dimms_double_the_banks_and_still_work() {
+    let mut cfg = tiny(SystemConfig::table1().with_ranks(4)).co_design();
+    cfg.measure = cfg.trefw() / 2;
+    let mix = medium_mix();
+    let mut sys = System::new(cfg, &mix);
+    let m = sys.run();
+    assert!(m.hmean_ipc() > 0.0);
+    assert_eq!(sys.config().total_banks(), 32);
+}
