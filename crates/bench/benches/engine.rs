@@ -34,7 +34,11 @@ fn drive_controller(policy: RefreshPolicyKind) -> u64 {
         let paddr = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((32 << 30) - 1) & !0x3f;
         let _ = mc.enqueue(MemRequest {
             id: ReqId(id),
-            kind: if id % 4 == 0 { ReqKind::Write } else { ReqKind::Read },
+            kind: if id.is_multiple_of(4) {
+                ReqKind::Write
+            } else {
+                ReqKind::Read
+            },
             paddr,
             loc: mc.mapping().decode(paddr),
             arrival: t,

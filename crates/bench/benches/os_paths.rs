@@ -58,8 +58,7 @@ fn bench_scheduler(c: &mut Criterion) {
                 let mut s = Scheduler::new(p, Ps::from_ms(4), 1);
                 let mut tasks: Vec<Task> = (0..8)
                     .map(|i| {
-                        let banks: BankVector =
-                            (0..16u32).filter(|b| b % 8 != i % 8).collect();
+                        let banks: BankVector = (0..16u32).filter(|b| b % 8 != i % 8).collect();
                         Task::new(TaskId(i), "t", 0, banks, 16)
                     })
                     .collect();

@@ -16,24 +16,57 @@ fn main() {
     let base = opts.base_config();
     let variants: Vec<(&str, SystemConfig)> = vec![
         ("all-bank", base.clone()),
-        ("no-refresh", base.clone().with_refresh(RefreshPolicyKind::NoRefresh)),
-        ("no-refresh+confine6", base.clone()
-            .with_refresh(RefreshPolicyKind::NoRefresh)
-            .with_partition(PartitionPlan::Confine { banks_per_task: 6 })),
-        ("seqref+part+cfs", base.clone()
-            .with_refresh(RefreshPolicyKind::PerBankSequential)
-            .with_partition(PartitionPlan::Soft)),
-        ("seqref only", base.clone().with_refresh(RefreshPolicyKind::PerBankSequential)),
+        (
+            "no-refresh",
+            base.clone().with_refresh(RefreshPolicyKind::NoRefresh),
+        ),
+        (
+            "no-refresh+confine6",
+            base.clone()
+                .with_refresh(RefreshPolicyKind::NoRefresh)
+                .with_partition(PartitionPlan::Confine { banks_per_task: 6 }),
+        ),
+        (
+            "seqref+part+cfs",
+            base.clone()
+                .with_refresh(RefreshPolicyKind::PerBankSequential)
+                .with_partition(PartitionPlan::Soft),
+        ),
+        (
+            "seqref only",
+            base.clone()
+                .with_refresh(RefreshPolicyKind::PerBankSequential),
+        ),
         ("co-design", base.clone().co_design()),
-        ("per-bank", base.clone().with_refresh(RefreshPolicyKind::PerBankRoundRobin)),
+        (
+            "per-bank",
+            base.clone()
+                .with_refresh(RefreshPolicyKind::PerBankRoundRobin),
+        ),
     ];
     for wl in ["WL-8", "WL-1", "WL-7"] {
         let mix = by_name(wl).unwrap();
-        let jobs: Vec<Job> = variants.iter().map(|(_, c)| Job { cfg: c.clone(), mix: mix.clone() }).collect();
+        let jobs: Vec<Job> = variants
+            .iter()
+            .map(|(_, c)| Job {
+                cfg: c.clone(),
+                mix: mix.clone(),
+            })
+            .collect();
         let runs = run_many(&jobs, opts.threads);
         println!("\n== {wl} ==");
         for ((label, _), r) in variants.iter().zip(&runs) {
-            let per_task: Vec<String> = r.tasks.iter().map(|t| format!("{}:{:.3}", &t.label[..2.min(t.label.len())], t.ipc(r.cpu_period))).collect();
+            let per_task: Vec<String> = r
+                .tasks
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{}:{:.3}",
+                        &t.label[..2.min(t.label.len())],
+                        t.ipc(r.cpu_period)
+                    )
+                })
+                .collect();
             println!(
                 "{:20} hmean {:.4} ({:+.2}%)  lat {:6.1}  dodges {:5} fallbk {:4}  [{}]",
                 label,

@@ -10,11 +10,26 @@ fn main() {
     cfg.warmup = cfg.trefw() / 4;
     cfg.measure = cfg.trefw();
     for (label, mix) in [
-        ("stream x1", WorkloadMix::from_groups("s1", &[(Benchmark::Stream, 1)], "M")),
-        ("stream x2", WorkloadMix::from_groups("s2", &[(Benchmark::Stream, 2)], "M")),
-        ("bwaves x1", WorkloadMix::from_groups("b1", &[(Benchmark::Bwaves, 1)], "H")),
-        ("bwaves x2", WorkloadMix::from_groups("b2", &[(Benchmark::Bwaves, 2)], "H")),
-        ("mcf    x2", WorkloadMix::from_groups("m2", &[(Benchmark::Mcf, 2)], "H")),
+        (
+            "stream x1",
+            WorkloadMix::from_groups("s1", &[(Benchmark::Stream, 1)], "M"),
+        ),
+        (
+            "stream x2",
+            WorkloadMix::from_groups("s2", &[(Benchmark::Stream, 2)], "M"),
+        ),
+        (
+            "bwaves x1",
+            WorkloadMix::from_groups("b1", &[(Benchmark::Bwaves, 1)], "H"),
+        ),
+        (
+            "bwaves x2",
+            WorkloadMix::from_groups("b2", &[(Benchmark::Bwaves, 2)], "H"),
+        ),
+        (
+            "mcf    x2",
+            WorkloadMix::from_groups("m2", &[(Benchmark::Mcf, 2)], "H"),
+        ),
     ] {
         let mut sys = System::new(cfg.clone(), &mix);
         let m = sys.run();

@@ -1,0 +1,27 @@
+//! Robustness report: retention-oracle and fault-injection counters per
+//! scheme — first a clean sweep (all counters should be zero except the
+//! scheduler's η fallbacks), then the same sweep with a deterministic
+//! fault plan installed (skipped/delayed refresh commands plus weak
+//! rows), where every injected skip must surface as a retention
+//! violation instead of silent data loss.
+
+use refsim_core::experiment::robustness_table;
+use refsim_core::faults::FaultPlan;
+use refsim_dram::time::Ps;
+
+fn main() {
+    let cli = refsim_bench::Cli::parse();
+
+    let clean = robustness_table(&cli.opts, None);
+    cli.emit(&clean);
+
+    let mut plan = FaultPlan::none(cli.opts.seed);
+    plan.skip_ppm = 100_000; // 10 % of refresh commands silently dropped
+    plan.delay_ppm = 20_000; // 2 % delayed by up to 2 µs
+    plan.max_delay = Ps::from_us(2);
+    plan.weak_rows = 2; // retention-weak cells at tREFW/8
+    plan.weak_limit = cli.opts.base_config().trefw() / 8;
+    plan.horizon = 1_000_000;
+    let faulted = robustness_table(&cli.opts, Some(&plan));
+    cli.emit(&faulted);
+}

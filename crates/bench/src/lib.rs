@@ -95,10 +95,8 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let cli = Cli::from_args(
-            ["--quick", "--scale", "64", "--seed", "7", "--csv"]
-                .map(String::from),
-        );
+        let cli =
+            Cli::from_args(["--quick", "--scale", "64", "--seed", "7", "--csv"].map(String::from));
         assert!(cli.csv);
         assert_eq!(cli.opts.time_scale, 64);
         assert_eq!(cli.opts.seed, 7);

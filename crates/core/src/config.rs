@@ -12,6 +12,8 @@ use refsim_dram::timing::{Density, RefreshTiming, Retention, TimingParams};
 use refsim_os::partition::PartitionPlan;
 use refsim_os::sched::SchedPolicy;
 
+use crate::faults::FaultPlan;
+
 /// Default time-scale divisor: `tREFW` shrinks 32× (64 ms → 2 ms,
 /// quantum 4 ms → 125 µs) so experiments complete quickly while every
 /// refresh-overhead *ratio* is preserved (see DESIGN.md §2).
@@ -69,6 +71,9 @@ pub struct SystemConfig {
     pub measure: Ps,
     /// RNG seed for workload generation.
     pub seed: u64,
+    /// Refresh-fault injection plan, expanded and installed into every
+    /// memory controller at system construction. `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -97,6 +102,7 @@ impl SystemConfig {
             warmup: Retention::Ms64.trefw() / u64::from(scale),
             measure: Retention::Ms64.trefw() / u64::from(scale) * 2,
             seed: 0x5EED,
+            fault_plan: None,
         }
     }
 
@@ -161,6 +167,22 @@ impl SystemConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Turns on the retention-integrity oracle in every memory
+    /// controller (per-row last-refresh tracking against `tREFW`).
+    pub fn with_retention_tracking(mut self) -> Self {
+        self.controller.track_retention = true;
+        self
+    }
+
+    /// Installs a refresh-fault injection plan. Plans that drop refresh
+    /// commands require retention tracking (see
+    /// [`SystemConfig::validate`]): a skipped refresh without the oracle
+    /// would be silent data loss.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -243,6 +265,15 @@ impl SystemConfig {
         }
         if self.effective_timeslice() == Ps::ZERO {
             return Err("timeslice must be positive".to_owned());
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.skip_ppm > 0 && plan.horizon > 0 && !self.controller.track_retention {
+                return Err(
+                    "fault plans that skip refreshes require retention tracking \
+                     (silent data loss otherwise); enable with_retention_tracking()"
+                        .to_owned(),
+                );
+            }
         }
         Ok(())
     }
@@ -327,6 +358,20 @@ mod tests {
         let mut c = SystemConfig::table1().co_design();
         c.channels = 2;
         assert!(c.validate().unwrap_err().contains("channel"));
+    }
+
+    #[test]
+    fn skip_faults_without_oracle_are_rejected() {
+        let mut plan = FaultPlan::none(1);
+        plan.skip_ppm = 1_000;
+        plan.horizon = 100;
+        let c = SystemConfig::table1().with_fault_plan(plan.clone());
+        assert!(c.validate().unwrap_err().contains("retention tracking"));
+        let c = SystemConfig::table1()
+            .with_retention_tracking()
+            .with_fault_plan(plan);
+        assert!(c.validate().is_ok());
+        assert!(c.controller.track_retention);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! table and figure of the paper's evaluation (§6). Each builder returns
 //! [`Table`]s whose rows mirror the corresponding figure's series.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -14,7 +15,9 @@ use refsim_workloads::mix::{table2, WorkloadMix};
 use refsim_workloads::profiles::Benchmark;
 
 use crate::config::SystemConfig;
-use crate::metrics::{gmean, RunMetrics};
+use crate::error::RefsimError;
+use crate::faults::FaultPlan;
+use crate::metrics::{gmean_finite, RunMetrics};
 use crate::report::Table;
 use crate::system::System;
 
@@ -151,10 +154,24 @@ pub struct Job {
 ///
 /// # Panics
 ///
-/// Propagates panics from individual simulations.
+/// Panics on the first failed job. Sweeps that must survive individual
+/// failures use [`run_many_checked`] instead.
 pub fn run_many(jobs: &[Job], threads: usize) -> Vec<RunMetrics> {
+    run_many_checked(jobs, threads)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("job {i} failed: {e}")))
+        .collect()
+}
+
+/// Error-tolerant [`run_many`]: every job produces a `Result`, in job
+/// order. A bad configuration, a simulation fault, or even a panicking
+/// worker yields an `Err` for *that job only* — the rest of the sweep
+/// completes, and builders turn the error into an error row.
+pub fn run_many_checked(jobs: &[Job], threads: usize) -> Vec<Result<RunMetrics, RefsimError>> {
     let n = jobs.len();
-    let results: Mutex<Vec<Option<RunMetrics>>> = Mutex::new(vec![None; n]);
+    let results: Mutex<Vec<Option<Result<RunMetrics, RefsimError>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
     let workers = threads.clamp(1, n.max(1));
     std::thread::scope(|s| {
@@ -164,7 +181,10 @@ pub fn run_many(jobs: &[Job], threads: usize) -> Vec<RunMetrics> {
                 if i >= n {
                     break;
                 }
-                let m = System::new(jobs[i].cfg.clone(), &jobs[i].mix).run();
+                let m = catch_unwind(AssertUnwindSafe(|| {
+                    System::try_new(jobs[i].cfg.clone(), &jobs[i].mix)?.try_run()
+                }))
+                .unwrap_or_else(|payload| Err(RefsimError::Panicked(panic_message(&payload))));
                 results.lock().expect("poisoned").as_mut_slice()[i] = Some(m);
             });
         }
@@ -177,15 +197,30 @@ pub fn run_many(jobs: &[Job], threads: usize) -> Vec<RunMetrics> {
         .collect()
 }
 
+/// Best-effort recovery of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs `scheme × workload` and returns harmonic-mean-IPC speedups
 /// normalized to `baseline`, as `speedups[scheme][workload]`, plus the
 /// raw metrics in the same layout.
+///
+/// Failed runs become `None` metrics and `NaN` speedups (rendered as
+/// `error` cells by [`Table::fmt_f`]) — one bad run never aborts the
+/// sweep.
 fn run_schemes(
     base: &SystemConfig,
     schemes: &[Scheme],
     baseline: Scheme,
     opts: &ExpOptions,
-) -> (Vec<Vec<f64>>, Vec<Vec<RunMetrics>>) {
+) -> (Vec<Vec<f64>>, Vec<Vec<Option<RunMetrics>>>) {
     let mut jobs = Vec::new();
     let mut all = schemes.to_vec();
     if !all.contains(&baseline) {
@@ -199,11 +234,11 @@ fn run_schemes(
             });
         }
     }
-    let metrics = run_many(&jobs, opts.threads);
+    let metrics = run_many_checked(&jobs, opts.threads);
     let w = opts.workloads.len();
-    let by_scheme: Vec<Vec<RunMetrics>> = metrics
+    let by_scheme: Vec<Vec<Option<RunMetrics>>> = metrics
         .chunks(w)
-        .map(|c| c.to_vec())
+        .map(|c| c.iter().map(|r| r.as_ref().ok().cloned()).collect())
         .collect();
     let base_idx = all.iter().position(|s| *s == baseline).expect("added");
     let speedups = by_scheme
@@ -212,7 +247,10 @@ fn run_schemes(
         .map(|runs| {
             runs.iter()
                 .zip(&by_scheme[base_idx])
-                .map(|(r, b)| r.speedup_over(b))
+                .map(|(r, b)| match (r, b) {
+                    (Some(r), Some(b)) => r.speedup_over(b),
+                    _ => f64::NAN,
+                })
                 .collect()
         })
         .collect();
@@ -245,8 +283,8 @@ pub fn figure10(opts: &ExpOptions) -> Vec<Table> {
             t.push([
                 "gmean".to_owned(),
                 Table::fmt_f(1.0),
-                Table::fmt_f(gmean(speedups[0].iter().copied())),
-                Table::fmt_f(gmean(speedups[1].iter().copied())),
+                Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
+                Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
             ]);
             t
         })
@@ -263,16 +301,29 @@ pub fn figure11(opts: &ExpOptions) -> Table {
         "Figure 11 (32Gb): average memory access latency (memory cycles)",
         ["workload", "all-bank", "per-bank", "co-design"],
     );
+    let lat = |r: &Option<RunMetrics>| {
+        r.as_ref()
+            .map_or(f64::NAN, RunMetrics::avg_read_latency_cycles)
+    };
     for (i, m) in opts.workloads.iter().enumerate() {
         t.push([
             m.name.clone(),
-            Table::fmt_f(by_scheme[0][i].avg_read_latency_cycles()),
-            Table::fmt_f(by_scheme[1][i].avg_read_latency_cycles()),
-            Table::fmt_f(by_scheme[2][i].avg_read_latency_cycles()),
+            Table::fmt_f(lat(&by_scheme[0][i])),
+            Table::fmt_f(lat(&by_scheme[1][i])),
+            Table::fmt_f(lat(&by_scheme[2][i])),
         ]);
     }
-    let avg = |rows: &Vec<RunMetrics>| {
-        rows.iter().map(RunMetrics::avg_read_latency_cycles).sum::<f64>() / rows.len() as f64
+    let avg = |rows: &Vec<Option<RunMetrics>>| {
+        let ok: Vec<f64> = rows
+            .iter()
+            .flatten()
+            .map(RunMetrics::avg_read_latency_cycles)
+            .collect();
+        if ok.is_empty() {
+            f64::NAN
+        } else {
+            ok.iter().sum::<f64>() / ok.len() as f64
+        }
     };
     t.push([
         "mean".to_owned(),
@@ -297,9 +348,13 @@ pub fn figure03(opts: &ExpOptions) -> Table {
                 .base_config()
                 .with_density(density)
                 .with_retention(retention);
-            let (speedups, _) =
-                run_schemes(&base, &[Scheme::AllBank, Scheme::PerBank], Scheme::NoRefresh, opts);
-            let deg = |v: &Vec<f64>| (1.0 - gmean(v.iter().copied())) * 100.0;
+            let (speedups, _) = run_schemes(
+                &base,
+                &[Scheme::AllBank, Scheme::PerBank],
+                Scheme::NoRefresh,
+                opts,
+            );
+            let deg = |v: &Vec<f64>| (1.0 - gmean_finite(v.iter().copied())) * 100.0;
             t.push([
                 retention.to_string(),
                 density.to_string(),
@@ -331,7 +386,7 @@ pub fn figure04(opts: &ExpOptions) -> Table {
         row.extend(
             speedups
                 .iter()
-                .map(|v| Table::fmt_f(gmean(v.iter().copied()))),
+                .map(|v| Table::fmt_f(gmean_finite(v.iter().copied()))),
         );
         t.push(row);
     }
@@ -350,9 +405,8 @@ pub fn figure05() -> Table {
     for bench in Benchmark::FIGURE5 {
         let mut row = vec![bench.name().to_owned()];
         for (di, density) in Density::ALL.iter().enumerate() {
-            let geometry = refsim_dram::geometry::Geometry::ddr3_2rank_8bank(
-                density.rows_per_bank(),
-            );
+            let geometry =
+                refsim_dram::geometry::Geometry::ddr3_2rank_8bank(density.rows_per_bank());
             let mapping = refsim_dram::mapping::AddressMapping::new(
                 geometry,
                 refsim_dram::mapping::MappingScheme::RowRankBankColumn,
@@ -412,10 +466,10 @@ pub fn figure12(opts: &ExpOptions) -> Table {
     }
     t.push([
         "gmean".to_owned(),
-        Table::fmt_f(gmean(speedups[0].iter().copied())),
-        Table::fmt_f(gmean(speedups[1].iter().copied())),
-        Table::fmt_f(gmean(speedups[2].iter().copied())),
-        Table::fmt_f(gmean(speedups[3].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[2].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[3].iter().copied())),
     ]);
     t
 }
@@ -448,8 +502,8 @@ pub fn figure13(opts: &ExpOptions) -> Vec<Table> {
             t.push([
                 "gmean".to_owned(),
                 Table::fmt_f(1.0),
-                Table::fmt_f(gmean(speedups[0].iter().copied())),
-                Table::fmt_f(gmean(speedups[1].iter().copied())),
+                Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
+                Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
             ]);
             t
         })
@@ -489,10 +543,10 @@ pub fn figure14(opts: &ExpOptions) -> Table {
     }
     t.push([
         "gmean".to_owned(),
-        Table::fmt_f(gmean(speedups[0].iter().copied())),
-        Table::fmt_f(gmean(speedups[1].iter().copied())),
-        Table::fmt_f(gmean(speedups[2].iter().copied())),
-        Table::fmt_f(gmean(speedups[3].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[2].iter().copied())),
+        Table::fmt_f(gmean_finite(speedups[3].iter().copied())),
     ]);
     t
 }
@@ -508,10 +562,30 @@ pub fn figure15(opts: &ExpOptions) -> Table {
         ranks: u32,
     }
     let variants = [
-        Variant { label: "2-core 1:2, 1 DIMM", cores: 2, tasks: 4, ranks: 2 },
-        Variant { label: "2-core 1:4, 1 DIMM", cores: 2, tasks: 8, ranks: 2 },
-        Variant { label: "2-core 1:4, 2 DIMMs", cores: 2, tasks: 8, ranks: 4 },
-        Variant { label: "4-core 1:4, 1 DIMM", cores: 4, tasks: 16, ranks: 2 },
+        Variant {
+            label: "2-core 1:2, 1 DIMM",
+            cores: 2,
+            tasks: 4,
+            ranks: 2,
+        },
+        Variant {
+            label: "2-core 1:4, 1 DIMM",
+            cores: 2,
+            tasks: 8,
+            ranks: 2,
+        },
+        Variant {
+            label: "2-core 1:4, 2 DIMMs",
+            cores: 2,
+            tasks: 8,
+            ranks: 4,
+        },
+        Variant {
+            label: "4-core 1:4, 1 DIMM",
+            cores: 4,
+            tasks: 16,
+            ranks: 2,
+        },
     ];
     let mut t = Table::new(
         "Figure 15: sensitivity (gmean speedup over all-bank)",
@@ -525,18 +599,18 @@ pub fn figure15(opts: &ExpOptions) -> Table {
                 .with_cores(v.cores)
                 .with_ranks(v.ranks);
             let mut o = opts.clone();
-            o.workloads = opts
-                .workloads
-                .iter()
-                .map(|m| m.resized(v.tasks))
-                .collect();
-            let (speedups, _) =
-                run_schemes(&base, &[Scheme::PerBank, Scheme::CoDesign], Scheme::AllBank, &o);
+            o.workloads = opts.workloads.iter().map(|m| m.resized(v.tasks)).collect();
+            let (speedups, _) = run_schemes(
+                &base,
+                &[Scheme::PerBank, Scheme::CoDesign],
+                Scheme::AllBank,
+                &o,
+            );
             t.push([
                 v.label.to_owned(),
                 density.to_string(),
-                Table::fmt_f(gmean(speedups[0].iter().copied())),
-                Table::fmt_f(gmean(speedups[1].iter().copied())),
+                Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
+                Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
             ]);
         }
     }
@@ -587,7 +661,12 @@ pub fn table02(opts: &ExpOptions) -> Table {
     let runs = run_many(&jobs, opts.threads);
     let mut t = Table::new(
         "Table 2: benchmark MPKI calibration and workload mixes",
-        ["benchmark", "measured MPKI", "class (paper)", "class (measured)"],
+        [
+            "benchmark",
+            "measured MPKI",
+            "class (paper)",
+            "class (measured)",
+        ],
     );
     for (b, r) in Benchmark::FIGURE5.iter().zip(&runs) {
         let mpki = r.mpki();
@@ -595,11 +674,18 @@ pub fn table02(opts: &ExpOptions) -> Table {
             b.name().to_owned(),
             Table::fmt_f(mpki),
             b.profile().class.letter().to_string(),
-            refsim_workloads::profiles::MpkiClass::of(mpki).letter().to_string(),
+            refsim_workloads::profiles::MpkiClass::of(mpki)
+                .letter()
+                .to_string(),
         ]);
     }
     for m in table2() {
-        t.push([m.to_string(), String::new(), m.category.clone(), String::new()]);
+        t.push([
+            m.to_string(),
+            String::new(),
+            m.category.clone(),
+            String::new(),
+        ]);
     }
     t
 }
@@ -634,9 +720,14 @@ pub fn energy_table(opts: &ExpOptions) -> Table {
         ],
     );
     for (s, runs) in schemes.iter().zip(&by_scheme) {
+        let ok: Vec<&RunMetrics> = runs.iter().flatten().collect();
+        if ok.is_empty() {
+            t.push([s.label()].into_iter().chain(vec!["error".into(); 6]));
+            continue;
+        }
         let mut sum = refsim_dram::power::EnergyBreakdown::default();
         let mut epki = 0.0;
-        for r in runs {
+        for r in &ok {
             let e = r.energy(&params);
             sum.refresh_nj += e.refresh_nj;
             sum.act_pre_nj += e.act_pre_nj;
@@ -645,7 +736,7 @@ pub fn energy_table(opts: &ExpOptions) -> Table {
             sum.background_nj += e.background_nj;
             epki += r.energy_per_kilo_instruction(&params);
         }
-        let n = runs.len() as f64;
+        let n = ok.len() as f64;
         let mj = |nj: f64| format!("{:.3}", nj / 1e6);
         t.push([
             s.label(),
@@ -673,21 +764,27 @@ pub fn ablation(opts: &ExpOptions) -> Table {
         .with_refresh(RefreshPolicyKind::PerBankRoundRobin)
         .with_partition(PartitionPlan::Soft)
         .with_sched(SchedPolicy::refresh_aware());
-    let hard = base
+    let hard = base.clone().co_design().with_partition(PartitionPlan::Hard);
+    let eta1 = base
         .clone()
         .co_design()
-        .with_partition(PartitionPlan::Hard);
-    let eta1 = base.clone().co_design().with_sched(SchedPolicy::RefreshAware {
-        eta_thresh: 1,
-        best_effort: false,
-    });
-    let eta8 = base.clone().co_design().with_sched(SchedPolicy::RefreshAware {
-        eta_thresh: 8,
-        best_effort: true,
-    });
+        .with_sched(SchedPolicy::RefreshAware {
+            eta_thresh: 1,
+            best_effort: false,
+        });
+    let eta8 = base
+        .clone()
+        .co_design()
+        .with_sched(SchedPolicy::RefreshAware {
+            eta_thresh: 8,
+            best_effort: true,
+        });
     let variants: Vec<(&str, SystemConfig)> = vec![
         ("all-bank (baseline)", base.clone()),
-        ("elastic refresh (Stuecheli)", base.clone().with_refresh(RefreshPolicyKind::Elastic)),
+        (
+            "elastic refresh (Stuecheli)",
+            base.clone().with_refresh(RefreshPolicyKind::Elastic),
+        ),
         ("seq-refresh only (HW half)", hw_only),
         ("partition+sched only (SW half)", sw_only),
         ("co-design (η=3)", base.clone().co_design()),
@@ -704,21 +801,99 @@ pub fn ablation(opts: &ExpOptions) -> Table {
             });
         }
     }
-    let runs = run_many(&jobs, opts.threads);
+    let runs = run_many_checked(&jobs, opts.threads);
     let w = opts.workloads.len();
-    let chunks: Vec<&[RunMetrics]> = runs.chunks(w).collect();
+    let chunks: Vec<&[Result<RunMetrics, RefsimError>]> = runs.chunks(w).collect();
     let mut t = Table::new(
         "Ablation: co-design pieces in isolation (gmean speedup over all-bank)",
         ["variant", "speedup"],
     );
     for (i, (label, _)) in variants.iter().enumerate() {
-        let s = gmean(
-            chunks[i]
-                .iter()
-                .zip(chunks[0])
-                .map(|(r, b)| r.speedup_over(b)),
-        );
+        let s = gmean_finite(chunks[i].iter().zip(chunks[0]).map(|(r, b)| match (r, b) {
+            (Ok(r), Ok(b)) => r.speedup_over(b),
+            _ => f64::NAN,
+        }));
         t.push([(*label).to_owned(), Table::fmt_f(s)]);
+    }
+    t
+}
+
+/// **Robustness report**: retention-integrity and fault-injection
+/// counters per scheme, summed over the option's workloads. Every run
+/// executes with the retention oracle enabled; `plan` (if any) is
+/// installed into each controller. Columns surface the counters the
+/// performance tables hide: oracle violations, injected skip/delay
+/// faults that fired, the scheduler's `η` fairness fallbacks, and the
+/// worst refresh postponement. A failed run degrades its scheme's row
+/// to an error status; the remaining schemes still report.
+pub fn robustness_table(opts: &ExpOptions, plan: Option<&FaultPlan>) -> Table {
+    let schemes = [
+        Scheme::AllBank,
+        Scheme::PerBank,
+        Scheme::Elastic,
+        Scheme::CoDesign,
+    ];
+    let mut base = opts.base_config().with_retention_tracking();
+    base.fault_plan = plan.cloned();
+    let mut jobs = Vec::new();
+    for s in &schemes {
+        for m in &opts.workloads {
+            jobs.push(Job {
+                cfg: s.apply(&base),
+                mix: m.clone(),
+            });
+        }
+    }
+    let runs = run_many_checked(&jobs, opts.threads);
+    let w = opts.workloads.len();
+    let mut t = Table::new(
+        "Robustness: retention oracle & fault injection (sum over workloads)",
+        [
+            "scheme",
+            "status",
+            "retention viol.",
+            "skipped refr.",
+            "delayed refr.",
+            "η fallbacks",
+            "max postpone",
+        ],
+    );
+    for (s, chunk) in schemes.iter().zip(runs.chunks(w)) {
+        let ok: Vec<&RunMetrics> = chunk.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let status = match chunk.iter().find_map(|r| r.as_ref().err()) {
+            None => "ok".to_owned(),
+            Some(e) => format!("error: {e}"),
+        };
+        if ok.is_empty() {
+            t.push([
+                s.label(),
+                status,
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let viol: u64 = ok.iter().map(|r| r.controller.retention_violations).sum();
+        let skip: u64 = ok.iter().map(|r| r.controller.injected_skip_faults).sum();
+        let delay: u64 = ok.iter().map(|r| r.controller.injected_delay_faults).sum();
+        let eta: u64 = ok.iter().map(|r| r.sched.eta_fallbacks).sum();
+        let postpone = ok
+            .iter()
+            .map(|r| r.controller.refresh_postpone_max)
+            .max()
+            .unwrap_or_default();
+        t.push([
+            s.label(),
+            status,
+            viol.to_string(),
+            skip.to_string(),
+            delay.to_string(),
+            eta.to_string(),
+            postpone.to_string(),
+        ]);
     }
     t
 }
@@ -774,6 +949,53 @@ mod tests {
         assert_eq!(serial.len(), 3);
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.tasks, b.tasks, "parallel run must be deterministic");
+        }
+    }
+
+    #[test]
+    fn checked_sweep_records_errors_and_continues() {
+        use refsim_dram::time::Ps;
+        let o = tiny_opts();
+        let mut bad = o.base_config();
+        bad.measure = Ps::ZERO; // rejected by SystemConfig::validate
+        let jobs: Vec<Job> = [o.base_config(), bad, o.base_config()]
+            .into_iter()
+            .map(|cfg| Job {
+                cfg,
+                mix: o.workloads[0].clone(),
+            })
+            .collect();
+        let r = run_many_checked(&jobs, 3);
+        assert!(r[0].is_ok(), "{:?}", r[0]);
+        assert!(r[2].is_ok());
+        match &r[1] {
+            Err(RefsimError::InvalidConfig(why)) => assert!(why.contains("measure")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robustness_table_surfaces_weak_row_violations() {
+        let o = tiny_opts();
+        // Weak rows with retention far below tREFW: every real schedule
+        // refreshes them too slowly, so the oracle must flag them under
+        // all schemes — deterministically, via the plan's fixed seed.
+        let mut plan = FaultPlan::none(3);
+        plan.weak_rows = 4;
+        plan.weak_limit = o.base_config().trefw() / 8;
+        let t = robustness_table(&o, Some(&plan));
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            assert_eq!(row[1], "ok", "{row:?}");
+            let viol: u64 = row[2].parse().expect("violation count");
+            assert!(viol > 0, "weak rows unreported for {}", row[0]);
+            assert_eq!(row[3], "0", "no skip faults were planned");
+        }
+        // Clean configuration: no oracle violations anywhere.
+        let t = robustness_table(&o, None);
+        for row in &t.rows {
+            assert_eq!(row[1], "ok");
+            assert_eq!(row[2], "0", "clean run flagged for {}", row[0]);
         }
     }
 

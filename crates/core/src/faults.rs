@@ -1,0 +1,161 @@
+//! Deterministic refresh-fault injection plans.
+//!
+//! A [`FaultPlan`] is a small, seed-driven recipe that expands into the
+//! concrete [`RefreshFaults`] the memory controller consumes: refresh
+//! commands to *skip* (silent drop — must be caught by the retention
+//! oracle), commands to *delay* (legal postponement the schedule must
+//! absorb), and *weak rows* whose retention is shorter than the device-
+//! wide `tREFW` (the RAIDR retention-variation failure model). The same
+//! seed always expands to the same faults for a given geometry, so a
+//! failing run reproduces from its config alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use refsim_dram::integrity::{RefreshFaults, WeakRow};
+use refsim_dram::time::Ps;
+
+/// Seed-driven recipe for refresh faults.
+///
+/// Rates are in parts-per-million per refresh command, evaluated
+/// independently for the first [`FaultPlan::horizon`] commands the
+/// controller would issue; keying on the command sequence number (not
+/// wall-clock) makes the plan independent of request traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// RNG seed; equal seeds expand to equal fault sets.
+    pub seed: u64,
+    /// Probability (ppm) that a refresh command is silently dropped.
+    pub skip_ppm: u32,
+    /// Probability (ppm) that a refresh command is issued late.
+    pub delay_ppm: u32,
+    /// Upper bound on an injected issue delay (drawn uniformly in
+    /// `(0, max_delay]`).
+    pub max_delay: Ps,
+    /// Number of weak rows to plant at random locations.
+    pub weak_rows: u32,
+    /// Retention limit assigned to every planted weak row.
+    pub weak_limit: Ps,
+    /// Refresh-command sequence numbers covered: `0..horizon`.
+    pub horizon: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a config placeholder).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            skip_ppm: 0,
+            delay_ppm: 0,
+            max_delay: Ps::ZERO,
+            weak_rows: 0,
+            weak_limit: Ps::ZERO,
+            horizon: 0,
+        }
+    }
+
+    /// Whether expansion can only yield the empty fault set.
+    pub fn is_empty(&self) -> bool {
+        (self.horizon == 0 || (self.skip_ppm == 0 && self.delay_ppm == 0)) && self.weak_rows == 0
+    }
+
+    /// Expands the plan into concrete faults for a channel with
+    /// `total_banks` banks of `rows_per_bank` rows each.
+    ///
+    /// Deterministic: the same plan and geometry always produce the
+    /// same faults.
+    pub fn expand(&self, total_banks: u32, rows_per_bank: u32) -> RefreshFaults {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut skip = Vec::new();
+        let mut delay = Vec::new();
+        for seq in 0..self.horizon {
+            if self.skip_ppm > 0 && rng.gen_range(0..1_000_000u32) < self.skip_ppm {
+                skip.push(seq);
+            }
+            if self.delay_ppm > 0
+                && self.max_delay > Ps::ZERO
+                && rng.gen_range(0..1_000_000u32) < self.delay_ppm
+            {
+                let d = Ps(rng.gen_range(0..self.max_delay.as_ps()) + 1);
+                delay.push((seq, d));
+            }
+        }
+        let weak_rows = (0..self.weak_rows)
+            .map(|_| WeakRow {
+                flat_bank: rng.gen_range(0..total_banks.max(1)),
+                row: rng.gen_range(0..rows_per_bank.max(1)),
+                limit: self.weak_limit,
+            })
+            .collect();
+        RefreshFaults {
+            skip,
+            delay,
+            weak_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            skip_ppm: 100_000, // 10 %
+            delay_ppm: 200_000,
+            max_delay: Ps::from_us(2),
+            weak_rows: 8,
+            weak_limit: Ps::from_us(50),
+            horizon: 1_000,
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let a = plan().expand(16, 65_536);
+        let b = plan().expand(16, 65_536);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn rates_land_near_expectation() {
+        let f = plan().expand(16, 65_536);
+        // 10 % of 1000 commands; a wide tolerance keeps this seed-proof.
+        assert!((50..200).contains(&f.skip.len()), "{}", f.skip.len());
+        assert!((100..320).contains(&f.delay.len()), "{}", f.delay.len());
+        assert_eq!(f.weak_rows.len(), 8);
+    }
+
+    #[test]
+    fn sequences_are_sorted_and_bounded() {
+        let f = plan().expand(16, 65_536);
+        assert!(f.skip.windows(2).all(|w| w[0] < w[1]));
+        assert!(f.skip.iter().all(|&s| s < 1_000));
+        assert!(f.delay.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(f
+            .delay
+            .iter()
+            .all(|&(_, d)| d > Ps::ZERO && d <= Ps::from_us(2)));
+        assert!(f
+            .weak_rows
+            .iter()
+            .all(|w| w.flat_bank < 16 && w.row < 65_536));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut other = plan();
+        other.seed = 43;
+        assert_ne!(plan().expand(16, 65_536), other.expand(16, 65_536));
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let p = FaultPlan::none(7);
+        assert!(p.is_empty());
+        assert!(p.expand(16, 65_536).is_empty());
+    }
+}

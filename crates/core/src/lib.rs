@@ -9,7 +9,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod error;
 pub mod experiment;
+pub mod faults;
 pub mod metrics;
 pub mod report;
 pub mod system;
@@ -17,8 +19,10 @@ pub mod system;
 /// Commonly used types.
 pub mod prelude {
     pub use crate::config::SystemConfig;
+    pub use crate::error::{RefsimError, SystemSnapshot};
     pub use crate::experiment::{ExpOptions, Job, Scheme};
-    pub use crate::metrics::{gmean, RunMetrics, TaskMetrics};
+    pub use crate::faults::FaultPlan;
+    pub use crate::metrics::{gmean, gmean_finite, RunMetrics, TaskMetrics};
     pub use crate::report::Table;
     pub use crate::system::System;
 }

@@ -166,6 +166,22 @@ pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
     (log_sum / f64::from(n)).exp()
 }
 
+/// [`gmean`] over only the finite, positive values — the error-tolerant
+/// variant experiment sweeps use: a failed run contributes `NaN` to its
+/// speedup column, which is filtered here rather than poisoning the
+/// whole average. Returns `NaN` when *no* value survives the filter, so
+/// tables render the cell as an error instead of a fake `0.0`.
+pub fn gmean_finite(values: impl IntoIterator<Item = f64>) -> f64 {
+    let ok: Vec<f64> = values
+        .into_iter()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if ok.is_empty() {
+        return f64::NAN;
+    }
+    gmean(ok)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +262,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn gmean_rejects_nonpositive() {
         let _ = gmean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn gmean_finite_filters_failed_runs() {
+        assert!((gmean_finite([2.0, f64::NAN, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean_finite([1.5, f64::INFINITY, 0.0]) - 1.5).abs() < 1e-12);
+        assert!(gmean_finite([f64::NAN]).is_nan());
+        assert!(gmean_finite(std::iter::empty()).is_nan());
     }
 
     #[test]

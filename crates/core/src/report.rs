@@ -26,7 +26,10 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new<H: Into<String>>(title: impl Into<String>, headers: impl IntoIterator<Item = H>) -> Self {
+    pub fn new<H: Into<String>>(
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = H>,
+    ) -> Self {
         Table {
             title: title.into(),
             headers: headers.into_iter().map(Into::into).collect(),
@@ -61,14 +64,24 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Formats a float cell with 3 decimals.
+    /// Formats a float cell with 3 decimals. Non-finite values (the
+    /// sweep-level marker for a failed run) render as `error` so a bad
+    /// row is visible in the table instead of `NaN` arithmetic noise.
     pub fn fmt_f(v: f64) -> String {
-        format!("{v:.3}")
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "error".to_owned()
+        }
     }
 
-    /// Formats a percentage cell with 1 decimal.
+    /// Formats a percentage cell with 1 decimal (non-finite → `error`).
     pub fn fmt_pct(v: f64) -> String {
-        format!("{v:.1}%")
+        if v.is_finite() {
+            format!("{v:.1}%")
+        } else {
+            "error".to_owned()
+        }
     }
 
     /// Renders as GitHub-flavored markdown.
@@ -144,10 +157,7 @@ impl Table {
             .enumerate()
             .filter_map(|(i, r)| parse(&r[col]).map(|v| (i, v)))
             .collect();
-        let max = values
-            .iter()
-            .map(|&(_, v)| v.abs())
-            .fold(0.0f64, f64::max);
+        let max = values.iter().map(|&(_, v)| v.abs()).fold(0.0f64, f64::max);
         let label_w = self
             .rows
             .iter()
@@ -155,8 +165,11 @@ impl Table {
             .max()
             .unwrap_or(0)
             .max(self.headers[0].len());
-        let mut out = format!("{} — {}
-", self.title, self.headers[col]);
+        let mut out = format!(
+            "{} — {}
+",
+            self.title, self.headers[col]
+        );
         for (i, v) in values {
             let bar_len = if max == 0.0 {
                 0
@@ -258,8 +271,14 @@ mod tests {
         let chart = t.bar_chart(1, 10);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3, "header + 2 numeric rows");
-        assert!(lines[1].contains(&"#".repeat(10)), "max value gets full width");
-        assert!(lines[2].contains(&"#".repeat(5)), "half value gets half width");
+        assert!(
+            lines[1].contains(&"#".repeat(10)),
+            "max value gets full width"
+        );
+        assert!(
+            lines[2].contains(&"#".repeat(5)),
+            "half value gets half width"
+        );
         assert!(!chart.contains("not-a-number"));
     }
 
@@ -284,5 +303,17 @@ mod tests {
         assert_eq!(Table::fmt_f(1.23456), "1.235");
         assert_eq!(Table::fmt_pct(16.24), "16.2%");
         assert!(sample().len() == 2 && !sample().is_empty());
+    }
+
+    #[test]
+    fn failed_runs_render_as_error_cells() {
+        assert_eq!(Table::fmt_f(f64::NAN), "error");
+        assert_eq!(Table::fmt_f(f64::INFINITY), "error");
+        assert_eq!(Table::fmt_pct(f64::NAN), "error");
+        // Error cells are skipped by the bar chart, not plotted as 0.
+        let mut t = Table::new("S", ["wl", "v"]);
+        t.push(["a", Table::fmt_f(1.0).as_str()]);
+        t.push(["b", Table::fmt_f(f64::NAN).as_str()]);
+        assert_eq!(t.bar_chart(1, 10).lines().count(), 2);
     }
 }

@@ -28,6 +28,7 @@ use refsim_workloads::mix::WorkloadMix;
 use refsim_workloads::profiles::TaskWorkload;
 
 use crate::config::SystemConfig;
+use crate::error::{RefsimError, SystemSnapshot};
 use crate::metrics::{RunMetrics, TaskMetrics};
 
 /// Simulation step granularity: bounds cross-core skew at the memory
@@ -119,21 +120,37 @@ impl System {
     /// Panics if the configuration fails [`SystemConfig::validate`] or
     /// the mix is empty.
     pub fn new(cfg: SystemConfig, mix: &WorkloadMix) -> Self {
-        cfg.validate()
-            .unwrap_or_else(|e| panic!("invalid config: {e}"));
-        assert!(!mix.is_empty(), "workload mix has no tasks");
+        Self::try_new(cfg, mix).unwrap_or_else(|e| panic!("invalid config: {e}"))
+    }
+
+    /// Fallible [`System::new`]: returns [`RefsimError::InvalidConfig`]
+    /// or [`RefsimError::EmptyWorkload`] instead of panicking, so sweeps
+    /// can record a bad configuration as an error row.
+    pub fn try_new(cfg: SystemConfig, mix: &WorkloadMix) -> Result<Self, RefsimError> {
+        cfg.validate().map_err(RefsimError::InvalidConfig)?;
+        if mix.is_empty() {
+            return Err(RefsimError::EmptyWorkload);
+        }
         let geometry = cfg.geometry();
         let mapping = AddressMapping::new(geometry, cfg.mapping);
         let refresh_timing = cfg.refresh_timing();
+        let faults = cfg
+            .fault_plan
+            .as_ref()
+            .map(|p| p.expand(geometry.banks_per_channel(), geometry.rows_per_bank));
         let mcs = (0..cfg.channels)
             .map(|_| {
-                MemoryController::new(
+                let mut mc = MemoryController::new(
                     mapping,
                     cfg.timing_params(),
                     refresh_timing,
                     cfg.refresh_policy,
                     cfg.controller,
-                )
+                );
+                if let Some(f) = &faults {
+                    mc.inject_faults(f.clone());
+                }
+                mc
             })
             .collect();
         let alloc = BankAwareAllocator::new(mapping);
@@ -176,7 +193,7 @@ impl System {
             })
             .collect();
         let n = mix.len();
-        System {
+        Ok(System {
             cfg,
             clock: Ps::ZERO,
             mcs,
@@ -190,7 +207,7 @@ impl System {
             base: vec![TaskSnapshot::default(); n],
             sched_base_stats: Default::default(),
             measure_start: Ps::ZERO,
-        }
+        })
     }
 
     /// The configuration in effect.
@@ -219,18 +236,76 @@ impl System {
     }
 
     /// Runs warm-up then the measured phase and returns its metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any simulation fault — see [`System::try_run`] for the
+    /// non-panicking variant experiment sweeps use.
     pub fn run(&mut self) -> RunMetrics {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Fallible [`System::run`]: any fault (memory-substrate error,
+    /// exhausted memory, lost forward progress) surfaces as a typed
+    /// [`RefsimError`] instead of a panic. When retention tracking is
+    /// enabled the end-of-run audit executes before metrics are
+    /// collected, so stale rows show up in
+    /// [`refsim_dram::stats::ControllerStats::retention_violations`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fault encountered; the system is left in its
+    /// at-fault state for post-mortem inspection.
+    pub fn try_run(&mut self) -> Result<RunMetrics, RefsimError> {
         let warm_end = self.cfg.warmup;
         let meas_end = self.cfg.warmup + self.cfg.measure;
-        self.run_until(warm_end);
+        self.try_run_until(warm_end)?;
         self.begin_measure();
-        self.run_until(meas_end);
-        self.collect()
+        self.try_run_until(meas_end)?;
+        let now = self.clock;
+        for mc in &mut self.mcs {
+            mc.audit_retention(now);
+        }
+        Ok(self.collect())
     }
 
     /// Advances simulation to `t_end` (idempotent if already there).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any simulation fault — see [`System::try_run_until`].
     pub fn run_until(&mut self, t_end: Ps) {
+        self.try_run_until(t_end)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    }
+
+    /// Fallible [`System::run_until`], guarded by a forward-progress
+    /// watchdog: the step loop gets a budget comfortably above the
+    /// maximum number of step/quantum boundaries the span can contain,
+    /// and exceeding it returns [`RefsimError::NoProgress`] with a
+    /// [`SystemSnapshot`] instead of hanging the harness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller faults ([`RefsimError::Dram`]), memory
+    /// exhaustion, and watchdog trips.
+    pub fn try_run_until(&mut self, t_end: Ps) -> Result<(), RefsimError> {
+        let span = t_end.saturating_sub(self.clock).as_ps();
+        let base_steps = span / STEP.as_ps() + 1;
+        let slice = self.sched.timeslice().as_ps().max(1);
+        let quantum_steps = (span / slice + 1) * self.cores.len() as u64;
+        let budget = 64 + 2 * (base_steps + quantum_steps);
+        let mut steps = 0u64;
         while self.clock < t_end {
+            steps += 1;
+            if steps > budget {
+                return Err(RefsimError::NoProgress {
+                    at: self.clock,
+                    steps,
+                    snapshot: Box::new(self.snapshot()),
+                });
+            }
             // 1. Scheduling decisions at the current instant.
             for c in 0..self.cores.len() {
                 self.maybe_switch(c);
@@ -244,11 +319,11 @@ impl System {
             }
             // 3. Cores execute.
             for c in 0..self.cores.len() {
-                self.run_core(c, step_end);
+                self.run_core(c, step_end)?;
             }
             // 4. Memory advances; completions unblock contexts.
             for ch in 0..self.mcs.len() {
-                self.mcs[ch].advance_to(step_end);
+                self.mcs[ch].try_advance_to(step_end)?;
                 for done in self.mcs[ch].drain_completions() {
                     if let Some((task, core, line)) = self.inflight.remove(&done.id) {
                         self.cores[core as usize].inflight_lines.remove(&line);
@@ -261,6 +336,20 @@ impl System {
                 }
             }
             self.clock = step_end;
+        }
+        Ok(())
+    }
+
+    /// A diagnostic digest of current system state, attached to
+    /// [`RefsimError::NoProgress`] and available for logging.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let sched = self.sched.stats();
+        SystemSnapshot {
+            clock: self.clock,
+            picks: sched.picks,
+            eta_fallbacks: sched.eta_fallbacks,
+            inflight_fills: self.inflight.len(),
+            controller: self.mcs[0].state_snapshot(),
         }
     }
 
@@ -408,34 +497,34 @@ impl System {
 
     // ---- core execution ------------------------------------------------
 
-    fn run_core(&mut self, c: usize, step_end: Ps) {
+    fn run_core(&mut self, c: usize, step_end: Ps) -> Result<(), RefsimError> {
         loop {
             let Some(cur) = self.cores[c].current else {
-                return;
+                return Ok(());
             };
             let cur = cur as usize;
             let limit = step_end.min(self.cores[c].quantum_end);
             if self.sims[cur].ctx.now() >= limit {
-                return;
+                return Ok(());
             }
             // Retry back-pressured memory operations first.
             if self.sims[cur].pending.is_some() && !self.flush_pending(c, cur) {
-                return; // still full; wait for the controller to drain
+                return Ok(()); // still full; wait for the controller to drain
             }
             if self.sims[cur].ctx.stall(&self.cfg.core).is_some() {
-                return; // blocked on a miss; completion will unblock
+                return Ok(()); // blocked on a miss; completion will unblock
             }
-            self.process_op(c, cur);
+            self.process_op(c, cur)?;
         }
     }
 
-    fn process_op(&mut self, c: usize, cur: usize) {
+    fn process_op(&mut self, c: usize, cur: usize) -> Result<(), RefsimError> {
         let op = self.sims[cur].wl.next_op();
         self.sims[cur]
             .ctx
             .execute(&self.cfg.core, u64::from(op.non_mem));
         if let Some(m) = op.mem {
-            let paddr = self.translate(cur, m.vaddr);
+            let paddr = self.translate(cur, m.vaddr)?;
             let outcome = self.cores[c].caches.access(paddr, m.write);
             match outcome {
                 HierOutcome::L1Hit => self.sims[cur].ctx.on_l1_hit(&self.cfg.core),
@@ -454,25 +543,29 @@ impl System {
                 }
             }
         }
+        Ok(())
     }
 
     /// Translates `vaddr` for task `cur`, demand-faulting a page in via
     /// the bank-aware allocator (Algorithm 2) if needed.
-    fn translate(&mut self, cur: usize, vaddr: u64) -> u64 {
+    fn translate(&mut self, cur: usize, vaddr: u64) -> Result<u64, RefsimError> {
         let t = &mut self.os_tasks[cur];
         if let Some(p) = t.mm.translate(vaddr) {
-            return p;
+            return Ok(p);
         }
         let page = self
             .alloc
             .alloc_page(t.possible_banks, &mut t.last_alloced_bank)
-            .unwrap_or_else(|_| panic!("machine out of memory faulting {vaddr:#x}"));
+            .map_err(|_| RefsimError::OutOfMemory {
+                task: cur as u32,
+                vaddr,
+            })?;
         t.mm.map(vaddr, page.frame);
         t.note_page(page.bank, page.fell_back);
         let sim = &mut self.sims[cur];
         let now = sim.ctx.now();
         sim.ctx.set_now(now + self.cfg.fault_cost);
-        t.mm.translate(vaddr).expect("just mapped")
+        Ok(t.mm.translate(vaddr).expect("just mapped"))
     }
 
     /// Attempts to hand the task's pending memory operations to the
@@ -693,6 +786,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let mut bad = quick(SystemConfig::table1());
+        bad.measure = Ps::ZERO;
+        match System::try_new(bad, &small_mix()) {
+            Err(RefsimError::InvalidConfig(why)) => assert!(why.contains("measure")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let empty = WorkloadMix::from_groups("none", &[], "");
+        assert!(matches!(
+            System::try_new(quick(SystemConfig::table1()), &empty),
+            Err(RefsimError::EmptyWorkload)
+        ));
+    }
+
+    #[test]
+    fn try_run_matches_run() {
+        let cfg = quick(SystemConfig::table1());
+        let a = System::new(cfg.clone(), &small_mix()).run();
+        let b = System::try_new(cfg, &small_mix())
+            .expect("valid")
+            .try_run()
+            .expect("clean run");
+        assert_eq!(a.tasks, b.tasks);
+    }
+
+    #[test]
+    fn retention_oracle_flags_no_refresh_through_config() {
+        // NoRefresh long enough that the end-of-run audit sees rows
+        // beyond tREFW plus the oracle's postponement slack.
+        let mut cfg = quick(SystemConfig::table1())
+            .with_refresh(RefreshPolicyKind::NoRefresh)
+            .with_retention_tracking();
+        cfg.measure = cfg.trefw() * 3;
+        let m = System::new(cfg, &small_mix()).run();
+        assert!(
+            m.controller.retention_violations > 0,
+            "audit must flag the never-refreshing system"
+        );
+
+        // The stock all-bank baseline stays clean under the same length.
+        let mut cfg = quick(SystemConfig::table1()).with_retention_tracking();
+        cfg.measure = cfg.trefw() * 3;
+        let m = System::new(cfg, &small_mix()).run();
+        assert_eq!(m.controller.retention_violations, 0);
+    }
+
+    #[test]
+    fn config_fault_plan_reaches_the_controller() {
+        use crate::faults::FaultPlan;
+        let mut plan = FaultPlan::none(11);
+        plan.delay_ppm = 300_000;
+        plan.max_delay = Ps::from_us(2);
+        plan.horizon = 10_000;
+        let cfg = quick(SystemConfig::table1().co_design())
+            .with_retention_tracking()
+            .with_fault_plan(plan);
+        let m = System::new(cfg, &small_mix()).run();
+        assert!(
+            m.controller.injected_delay_faults > 0,
+            "delay plan never fired"
+        );
+        assert_eq!(
+            m.controller.retention_violations, 0,
+            "bounded delay must be absorbed by the sequential schedule"
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl CacheConfig {
             return Err("line_bytes must be a power of two".to_owned());
         }
         let per_set = u64::from(self.ways) * u64::from(self.line_bytes);
-        if self.size_bytes % per_set != 0 {
+        if !self.size_bytes.is_multiple_of(per_set) {
             return Err("size must be a multiple of ways × line".to_owned());
         }
         if !self.sets().is_power_of_two() {
@@ -249,7 +249,10 @@ impl Cache {
 
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.offset_bits;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     fn rebuild_addr(&self, tag: u64, set: u64) -> u64 {
@@ -355,7 +358,7 @@ mod tests {
     #[test]
     fn rebuild_addr_roundtrips_through_eviction() {
         let mut c = Cache::new(CacheConfig::l2_1m());
-        let addr = 0xdead_beef_c0u64 & !0x3f;
+        let addr = 0x00de_adbe_efc0_u64 & !0x3f;
         c.access(addr, true);
         // Evict by filling the set.
         let set_stride = 1024 * 64;

@@ -103,9 +103,7 @@ impl StallReason {
     /// The request whose completion unblocks the context.
     pub fn blocking_request(&self) -> ReqId {
         match *self {
-            StallReason::RobFull(id)
-            | StallReason::MshrFull(id)
-            | StallReason::Dependent(id) => id,
+            StallReason::RobFull(id) | StallReason::MshrFull(id) | StallReason::Dependent(id) => id,
         }
     }
 }

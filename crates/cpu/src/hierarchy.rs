@@ -138,7 +138,10 @@ mod tests {
     fn miss_fills_both_levels() {
         let mut h = CacheHierarchy::table1();
         match h.access(0x40_0000, false) {
-            HierOutcome::Miss { line_addr, writeback } => {
+            HierOutcome::Miss {
+                line_addr,
+                writeback,
+            } => {
                 assert_eq!(line_addr, 0x40_0000);
                 assert_eq!(writeback, None);
             }
@@ -170,8 +173,9 @@ mod tests {
         h.access(0, true); // dirty in both levels
         let mut saw_wb = false;
         for i in 1..=16u64 {
-            if let HierOutcome::Miss { writeback: Some(w), .. } =
-                h.access(i * l2_set_stride, false)
+            if let HierOutcome::Miss {
+                writeback: Some(w), ..
+            } = h.access(i * l2_set_stride, false)
             {
                 assert_eq!(w, 0);
                 saw_wb = true;

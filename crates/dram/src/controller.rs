@@ -12,7 +12,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::bank::{Bank, BankPhase, RankState};
+use crate::error::{ControllerSnapshot, DramError};
 use crate::geometry::BankId;
+use crate::integrity::{IntegrityConfig, RefreshFaults, RetentionTracker};
 use crate::mapping::AddressMapping;
 use crate::refresh::{BusyForecast, QueueSnapshot, RefreshOp, RefreshPolicy, RefreshPolicyKind};
 use crate::request::{Completion, MemRequest, ReqKind};
@@ -33,6 +35,9 @@ pub struct ControllerConfig {
     pub wq_low: usize,
     /// Epoch for bandwidth-utilization reporting to the refresh policy.
     pub utilization_epoch: Ps,
+    /// Enable the [`RetentionTracker`] oracle (per-row retention
+    /// accounting; costs memory proportional to refresh granularity).
+    pub track_retention: bool,
 }
 
 impl Default for ControllerConfig {
@@ -43,6 +48,7 @@ impl Default for ControllerConfig {
             wq_high: 54,
             wq_low: 32,
             utilization_epoch: Ps::from_us(8),
+            track_retention: false,
         }
     }
 }
@@ -122,6 +128,8 @@ impl Entry {
 struct PendingRefresh {
     op: RefreshOp,
     due: Ps,
+    /// Extra issue delay injected by the active fault plan.
+    injected_delay: Ps,
 }
 
 /// The next thing the controller will do.
@@ -206,6 +214,13 @@ pub struct MemoryController {
     completions: Vec<Completion>,
     stats: ControllerStats,
     trace: Option<Vec<TraceEntry>>,
+
+    /// Retention-integrity oracle (None unless enabled).
+    integrity: Option<RetentionTracker>,
+    /// Active refresh fault plan (empty by default).
+    faults: RefreshFaults,
+    /// Global refresh command sequence number (keys fault injection).
+    refresh_seq: u64,
 }
 
 impl MemoryController {
@@ -223,6 +238,13 @@ impl MemoryController {
         let g = *mapping.geometry();
         let policy = crate::refresh::build_policy(policy, &refresh_timing, &g);
         let n_banks = g.banks_per_channel() as usize;
+        let integrity = cfg.track_retention.then(|| {
+            RetentionTracker::new(
+                n_banks as u32,
+                g.rows_per_bank,
+                Self::default_integrity_config(&refresh_timing),
+            )
+        });
         MemoryController {
             mapping,
             timing,
@@ -246,6 +268,21 @@ impl MemoryController {
             completions: Vec::new(),
             stats: ControllerStats::new(),
             trace: None,
+            integrity,
+            faults: RefreshFaults::default(),
+            refresh_seq: 0,
+        }
+    }
+
+    /// The oracle threshold used when retention tracking is enabled via
+    /// [`ControllerConfig::track_retention`]: the scaled `tREFW` plus a
+    /// slack of nine `tREFI` covering JEDEC's eight-interval postponement
+    /// allowance (exploited in full by the elastic policy) plus one
+    /// in-flight command.
+    pub fn default_integrity_config(rt: &RefreshTiming) -> IntegrityConfig {
+        IntegrityConfig {
+            limit: rt.trefw,
+            slack: rt.trefi_ab * 9,
         }
     }
 
@@ -267,7 +304,12 @@ impl MemoryController {
 
     fn record(&mut self, at: Ps, cmd: TraceCmd, rank: u8, bank: u8) {
         if let Some(t) = &mut self.trace {
-            t.push(TraceEntry { at, cmd, rank, bank });
+            t.push(TraceEntry {
+                at,
+                cmd,
+                rank,
+                bank,
+            });
         }
     }
 
@@ -285,6 +327,62 @@ impl MemoryController {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &ControllerStats {
         &self.stats
+    }
+
+    /// Enables the retention-integrity oracle with an explicit
+    /// configuration (replacing any existing tracker). Weak rows from a
+    /// previously installed fault plan are re-registered.
+    pub fn enable_integrity(&mut self, cfg: IntegrityConfig) {
+        let g = self.mapping.geometry();
+        let mut tracker = RetentionTracker::new(g.banks_per_channel(), g.rows_per_bank, cfg);
+        tracker.set_weak_rows(&self.faults.weak_rows);
+        self.integrity = Some(tracker);
+    }
+
+    /// The retention oracle, if enabled.
+    pub fn integrity(&self) -> Option<&RetentionTracker> {
+        self.integrity.as_ref()
+    }
+
+    /// Installs a deterministic refresh fault plan. Weak rows are
+    /// registered with the oracle when one is enabled (enable integrity
+    /// first — weak rows are invisible without the oracle).
+    pub fn inject_faults(&mut self, faults: RefreshFaults) {
+        if let Some(t) = &mut self.integrity {
+            t.set_weak_rows(&faults.weak_rows);
+        }
+        self.faults = faults;
+    }
+
+    /// Runs the end-of-run retention audit at `now` and returns the
+    /// total violation count (0 when tracking is disabled). Also folds
+    /// the count into [`ControllerStats::retention_violations`].
+    pub fn audit_retention(&mut self, now: Ps) -> u64 {
+        match &mut self.integrity {
+            Some(t) => {
+                t.finalize(now);
+                let total = t.total_violations();
+                self.stats.retention_violations = total;
+                total
+            }
+            None => 0,
+        }
+    }
+
+    /// A diagnostic digest of current controller state (attached to
+    /// [`DramError`]s; also useful for logging).
+    pub fn state_snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            cursor: self.cursor,
+            read_q: self.read_q.len(),
+            write_q: self.write_q.len(),
+            draining: self.draining,
+            pending_refresh_due: self.pending_refresh.as_ref().map(|p| p.due),
+            next_refresh_due: self.policy.next_due(),
+            policy: self.policy.kind(),
+            refreshes_issued: self.refresh_seq,
+            retention_violations: self.integrity.as_ref().map_or(0, |t| t.total_violations()),
+        }
     }
 
     /// Zeroes statistics (measurement-phase boundary). Bank state and
@@ -405,12 +503,54 @@ impl MemoryController {
     /// Advances the controller, executing every command that issues at or
     /// before `target`. Read completions are buffered for
     /// [`drain_completions`](Self::drain_completions).
+    ///
+    /// Panics on the faults [`try_advance_to`](Self::try_advance_to)
+    /// reports — callers that must degrade gracefully (the experiment
+    /// harness) use the fallible form instead.
     pub fn advance_to(&mut self, target: Ps) {
-        debug_assert!(target >= self.cursor, "time went backwards");
+        if let Err(e) = self.try_advance_to(target) {
+            panic!("memory controller fault: {e}");
+        }
+    }
+
+    /// Fallible form of [`advance_to`](Self::advance_to).
+    ///
+    /// # Errors
+    ///
+    /// - [`DramError::TimeRegression`] if `target` precedes the cursor
+    ///   (previously a `debug_assert!` that release builds skipped).
+    /// - [`DramError::Livelock`] if the command scheduler executes more
+    ///   actions inside the window than the command bus could physically
+    ///   issue — forward progress has stopped. Both errors carry a
+    ///   [`ControllerSnapshot`] for post-hoc diagnosis.
+    pub fn try_advance_to(&mut self, target: Ps) -> Result<(), DramError> {
+        if target < self.cursor {
+            return Err(DramError::TimeRegression {
+                cursor: self.cursor,
+                target,
+                snapshot: Box::new(self.state_snapshot()),
+            });
+        }
+        // Forward-progress watchdog: per DRAM clock at most one command
+        // issues, plus bounded non-issuing actions (refresh selection /
+        // postponement). Anything past this budget is a planning loop.
+        let ticks = (target - self.cursor).as_ps() / self.timing.tck.as_ps().max(1);
+        let budget = 10_000 + ticks.saturating_mul(4);
+        let from = self.cursor;
+        let mut iterations = 0u64;
         loop {
             self.roll_epochs(target);
             match self.plan() {
                 Some((at, action)) if at <= target => {
+                    iterations += 1;
+                    if iterations > budget {
+                        return Err(DramError::Livelock {
+                            from,
+                            to: target,
+                            iterations,
+                            snapshot: Box::new(self.state_snapshot()),
+                        });
+                    }
                     self.cursor = at;
                     self.execute(action, at);
                 }
@@ -419,6 +559,7 @@ impl MemoryController {
         }
         self.cursor = target;
         self.roll_epochs(target);
+        Ok(())
     }
 
     // ---- internals ----------------------------------------------------
@@ -490,7 +631,9 @@ impl MemoryController {
     /// Aligns `t` to the command clock grid, no earlier than the command
     /// bus becoming free or the controller cursor.
     fn align(&self, t: Ps) -> Ps {
-        t.max(self.cmd_bus_free).max(self.cursor).round_up(self.timing.tck)
+        t.max(self.cmd_bus_free)
+            .max(self.cursor)
+            .round_up(self.timing.tck)
     }
 
     /// Earliest instant the data bus allows a column command at `t_cas`,
@@ -523,6 +666,9 @@ impl MemoryController {
         // Refresh machinery (priority 0).
         if let Some(p) = &self.pending_refresh {
             let op = p.op;
+            // Injected delay shifts the issue instant; the schedule and
+            // lateness stats still reference the policy's `due`.
+            let earliest = p.due + p.injected_delay;
             let (lo, hi) = self.refresh_scope(&op);
             // Settle any finished refreshes in scope before inspecting.
             for f in lo..hi {
@@ -530,14 +676,14 @@ impl MemoryController {
             }
             // Precharge open banks in scope first.
             let mut all_idle = true;
-            let mut ready = p.due;
+            let mut ready = earliest;
             for f in lo..hi {
                 match self.banks[f].phase() {
                     BankPhase::Active => {
                         all_idle = false;
                         let t = self.align(self.banks[f].earliest_pre().expect("active"));
                         consider(
-                            Some((t.max(p.due), 0, Action::PreForRefresh { flat: f })),
+                            Some((t.max(earliest), 0, Action::PreForRefresh { flat: f })),
                             &mut best,
                         );
                         // Only plan one PRE at a time (command bus serializes
@@ -557,12 +703,19 @@ impl MemoryController {
                 consider(Some((t, 0, Action::IssueRefresh)), &mut best);
             }
         } else if let Some(due) = self.policy.next_due() {
-            consider(Some((due.max(self.cursor), 0, Action::SelectRefresh)), &mut best);
+            consider(
+                Some((due.max(self.cursor), 0, Action::SelectRefresh)),
+                &mut best,
+            );
         }
 
         // Transaction scheduling: FR-FCFS over the active queue.
         let serving_writes = self.draining || self.read_q.is_empty();
-        let queue: &[Entry] = if serving_writes { &self.write_q } else { &self.read_q };
+        let queue: &[Entry] = if serving_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         for (idx, e) in queue.iter().enumerate() {
             let flat = self.flat(e.req.loc.bank_id());
             if self.in_refresh_scope(flat) {
@@ -578,10 +731,21 @@ impl MemoryController {
             // Row hit → CAS (priority 1: first-ready-FCFS).
             if bank.phase() == BankPhase::Active && bank.is_row_hit(e.req.loc.row) {
                 let cas0 = bank.earliest_cas(e.req.loc.row).expect("hit");
-                let rank_ready = if is_write { rk.earliest_wr() } else { rk.earliest_rd() };
-                let lat = if is_write { self.timing.tcwl } else { self.timing.tcl };
-                let t =
-                    self.align(cas0.max(rank_ready).max(self.bus_ready_cas(rank, lat)).max(arr));
+                let rank_ready = if is_write {
+                    rk.earliest_wr()
+                } else {
+                    rk.earliest_rd()
+                };
+                let lat = if is_write {
+                    self.timing.tcwl
+                } else {
+                    self.timing.tcl
+                };
+                let t = self.align(
+                    cas0.max(rank_ready)
+                        .max(self.bus_ready_cas(rank, lat))
+                        .max(arr),
+                );
                 consider(Some((t, 1, Action::Cas { idx, flat })), &mut best);
             } else if bank.phase() == BankPhase::Active {
                 // Row conflict → PRE (priority 2, FCFS order by queue pos).
@@ -612,7 +776,15 @@ impl MemoryController {
                 }
                 let op = self.policy.select(&snap);
                 let due = self.policy.next_due().expect("due refresh");
-                self.pending_refresh = Some(PendingRefresh { op, due });
+                let injected_delay = self.faults.delay_for(self.refresh_seq);
+                if injected_delay > Ps::ZERO {
+                    self.stats.injected_delay_faults += 1;
+                }
+                self.pending_refresh = Some(PendingRefresh {
+                    op,
+                    due,
+                    injected_delay,
+                });
             }
             Action::PreForRefresh { flat } => {
                 self.banks[flat].do_pre(at, &self.timing);
@@ -622,6 +794,18 @@ impl MemoryController {
             }
             Action::IssueRefresh => {
                 let p = self.pending_refresh.take().expect("pending refresh");
+                let seq = self.refresh_seq;
+                self.refresh_seq += 1;
+                if self.faults.skips(seq) {
+                    // Injected skip: the command is dropped on the floor.
+                    // The policy believes it issued (its schedule moves
+                    // on) but no rows are refreshed and the oracle's
+                    // sweep cursor stays put — exactly the silent
+                    // data-loss scenario the tracker must expose.
+                    self.stats.injected_skip_faults += 1;
+                    self.policy.issued(&p.op, at);
+                    return;
+                }
                 let dur = self.policy.duration(&p.op);
                 let (lo, hi) = self.refresh_scope(&p.op);
                 let rows = match p.op {
@@ -630,6 +814,12 @@ impl MemoryController {
                 for f in lo..hi {
                     self.banks[f].settle(at);
                     self.banks[f].do_refresh(at, dur, rows);
+                }
+                if let Some(t) = &mut self.integrity {
+                    for f in lo..hi {
+                        t.on_refresh(f as u32, rows, at);
+                    }
+                    self.stats.retention_violations = t.total_violations();
                 }
                 match p.op {
                     RefreshOp::AllBank { rank, .. } => {
@@ -658,7 +848,11 @@ impl MemoryController {
             Action::Pre { idx, flat } => {
                 let serving_writes = self.draining || self.read_q.is_empty();
                 {
-                    let q = if serving_writes { &mut self.write_q } else { &mut self.read_q };
+                    let q = if serving_writes {
+                        &mut self.write_q
+                    } else {
+                        &mut self.read_q
+                    };
                     q[idx].needed_pre = true;
                 }
                 self.banks[flat].do_pre(at, &self.timing);
@@ -670,7 +864,11 @@ impl MemoryController {
                 self.banks[flat].settle(at);
                 let serving_writes = self.draining || self.read_q.is_empty();
                 let (row, rank) = {
-                    let q = if serving_writes { &mut self.write_q } else { &mut self.read_q };
+                    let q = if serving_writes {
+                        &mut self.write_q
+                    } else {
+                        &mut self.read_q
+                    };
                     q[idx].needed_act = true;
                     (q[idx].req.loc.row, q[idx].req.loc.rank)
                 };
@@ -701,7 +899,11 @@ impl MemoryController {
                 }
                 {
                     let (r, b) = self.unflat(flat);
-                    let cmd = if entry.req.is_read() { TraceCmd::Rd } else { TraceCmd::Wr };
+                    let cmd = if entry.req.is_read() {
+                        TraceCmd::Rd
+                    } else {
+                        TraceCmd::Wr
+                    };
                     self.record(at, cmd, r, b);
                 }
                 let data_end = if entry.req.is_read() {
@@ -748,8 +950,7 @@ mod tests {
     use crate::timing::{Density, Retention};
 
     fn mc(policy: RefreshPolicyKind) -> MemoryController {
-        let mapping =
-            AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+        let mapping = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
         MemoryController::new(
             mapping,
             TimingParams::ddr3_1600(),
@@ -801,7 +1002,8 @@ mod tests {
         c.advance_to(Ps::from_us(1));
         let first = c.drain_completions()[0];
         // Same row, next line.
-        c.enqueue(read_req(&c, 2, 0x10_0040, Ps::from_us(1))).unwrap();
+        c.enqueue(read_req(&c, 2, 0x10_0040, Ps::from_us(1)))
+            .unwrap();
         c.advance_to(Ps::from_us(2));
         let second = c.drain_completions()[0];
         assert!(second.latency < first.latency);
@@ -816,7 +1018,8 @@ mod tests {
         c.drain_completions();
         // Same bank, different row: row stride for default mapping is
         // 4 KiB × banks × ranks × channels = 64 KiB.
-        c.enqueue(read_req(&c, 2, 0x11_0000, Ps::from_us(1))).unwrap();
+        c.enqueue(read_req(&c, 2, 0x11_0000, Ps::from_us(1)))
+            .unwrap();
         c.advance_to(Ps::from_us(2));
         let done = c.drain_completions();
         assert_eq!(done.len(), 1);
@@ -866,8 +1069,13 @@ mod tests {
         let mut c = mc(RefreshPolicyKind::NoRefresh);
         // Keep a steady read stream while filling the write queue.
         for i in 0..54u64 {
-            c.enqueue(write_req(&c, 1000 + i, 0x800_0000 + i * 0x10_0000, Ps::ZERO))
-                .unwrap();
+            c.enqueue(write_req(
+                &c,
+                1000 + i,
+                0x800_0000 + i * 0x10_0000,
+                Ps::ZERO,
+            ))
+            .unwrap();
         }
         assert_eq!(c.stats().write_drains, 1);
         c.advance_to(Ps::from_us(5));
@@ -881,8 +1089,8 @@ mod tests {
     fn all_bank_refresh_blocks_rank_and_is_counted() {
         let mut c = mc(RefreshPolicyKind::AllBank);
         c.advance_to(Ps::from_us(80)); // > 10 tREFI
-        // 2 ranks × one refresh per tREFI each... staggered halves: about
-        // 80us / 7.8us ≈ 10 per rank... total ≈ 20.
+                                       // 2 ranks × one refresh per tREFI each... staggered halves: about
+                                       // 80us / 7.8us ≈ 10 per rank... total ≈ 20.
         let n = c.stats().refreshes_ab;
         assert!((18..=22).contains(&n), "got {n} all-bank refreshes");
         assert_eq!(c.stats().refreshes_pb, 0);
@@ -987,11 +1195,39 @@ mod tests {
     }
 
     #[test]
+    fn time_regression_is_a_typed_error() {
+        let mut c = mc(RefreshPolicyKind::AllBank);
+        c.advance_to(Ps::from_us(10));
+        match c.try_advance_to(Ps::from_us(5)) {
+            Err(DramError::TimeRegression {
+                cursor,
+                target,
+                snapshot,
+            }) => {
+                assert_eq!(cursor, Ps::from_us(10));
+                assert_eq!(target, Ps::from_us(5));
+                assert_eq!(snapshot.policy, RefreshPolicyKind::AllBank);
+                assert!(snapshot.refreshes_issued > 0);
+            }
+            other => panic!("expected TimeRegression, got {other:?}"),
+        }
+        // The error is recoverable: the controller still advances forward.
+        c.try_advance_to(Ps::from_us(20)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "memory controller fault: time went backwards")]
+    fn advance_to_rewind_fails_loudly_even_in_release() {
+        let mut c = mc(RefreshPolicyKind::NoRefresh);
+        c.advance_to(Ps::from_us(10));
+        c.advance_to(Ps::from_us(5));
+    }
+
+    #[test]
     fn refresh_coverage_under_load() {
         // Even with a saturating request stream, every bank must receive
         // its refresh coverage within one (scaled) retention window.
-        let mapping =
-            AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+        let mapping = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
         let timing = RefreshTiming::scaled(Density::Gb32, Retention::Ms64, 512);
         let trefw = timing.trefw;
         let mut c = MemoryController::new(

@@ -1,0 +1,111 @@
+//! Typed diagnostic errors for the DRAM substrate.
+//!
+//! The controller's internal invariants used to be `debug_assert!`s,
+//! which vanish in release builds — a violated invariant would silently
+//! corrupt a whole figure sweep. They are now [`DramError`] values
+//! carrying a [`ControllerSnapshot`] of the machine state at the point
+//! of failure, so a bad run degrades into one diagnosable error row
+//! instead of an abort (or worse, silence).
+
+use std::fmt;
+
+use crate::refresh::RefreshPolicyKind;
+use crate::time::Ps;
+
+/// A point-in-time digest of controller state, attached to diagnostic
+/// errors so livelocks and time regressions can be debugged post-hoc
+/// from an experiment log alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSnapshot {
+    /// Controller cursor (last replayed instant).
+    pub cursor: Ps,
+    /// Read-queue occupancy.
+    pub read_q: usize,
+    /// Write-queue occupancy.
+    pub write_q: usize,
+    /// Whether the controller was in a write-drain episode.
+    pub draining: bool,
+    /// Due instant of the refresh waiting for its scope, if any.
+    pub pending_refresh_due: Option<Ps>,
+    /// Next refresh due from the policy's schedule, if any.
+    pub next_refresh_due: Option<Ps>,
+    /// Active refresh policy.
+    pub policy: RefreshPolicyKind,
+    /// Refresh commands issued so far (both granularities).
+    pub refreshes_issued: u64,
+    /// Retention violations recorded so far (0 when tracking is off).
+    pub retention_violations: u64,
+}
+
+impl fmt::Display for ControllerSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cursor={} rq={} wq={} draining={} pending_due={:?} next_due={:?} \
+             policy={} refreshes={} violations={}",
+            self.cursor,
+            self.read_q,
+            self.write_q,
+            self.draining,
+            self.pending_refresh_due,
+            self.next_refresh_due,
+            self.policy,
+            self.refreshes_issued,
+            self.retention_violations,
+        )
+    }
+}
+
+/// Diagnostic error from the DRAM substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramError {
+    /// `advance_to` was asked to rewind: `target` precedes the cursor.
+    TimeRegression {
+        /// The controller's current instant.
+        cursor: Ps,
+        /// The (earlier) instant requested.
+        target: Ps,
+        /// Machine state at the failure.
+        snapshot: Box<ControllerSnapshot>,
+    },
+    /// The command scheduler stopped making forward progress: more
+    /// actions executed inside one `advance_to` window than the command
+    /// bus could physically issue.
+    Livelock {
+        /// Start of the stuck replay window.
+        from: Ps,
+        /// End of the stuck replay window.
+        to: Ps,
+        /// Actions executed before the watchdog fired.
+        iterations: u64,
+        /// Machine state at the failure.
+        snapshot: Box<ControllerSnapshot>,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::TimeRegression {
+                cursor,
+                target,
+                snapshot,
+            } => write!(
+                f,
+                "time went backwards: advance_to({target}) while cursor={cursor} [{snapshot}]"
+            ),
+            DramError::Livelock {
+                from,
+                to,
+                iterations,
+                snapshot,
+            } => write!(
+                f,
+                "controller livelock: {iterations} actions replaying [{from}, {to}] \
+                 without retiring the window [{snapshot}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}

@@ -275,14 +275,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_non_pow2() {
-        let mut g = Geometry::default();
-        g.banks_per_rank = 6;
+        let g = Geometry {
+            banks_per_rank: 6,
+            ..Geometry::default()
+        };
         assert!(g.validate().unwrap_err().contains("banks_per_rank"));
-        let mut g = Geometry::default();
-        g.channels = 0;
+        let g = Geometry {
+            channels: 0,
+            ..Geometry::default()
+        };
         assert!(g.validate().is_err());
-        let mut g = Geometry::default();
-        g.line_bytes = 8192;
+        let g = Geometry {
+            line_bytes: 8192,
+            ..Geometry::default()
+        };
         assert!(g.validate().unwrap_err().contains("line_bytes"));
     }
 

@@ -17,6 +17,9 @@
 //! * [`refresh`] — the refresh policies and the [`refresh::BusyForecast`]
 //!   interface the OS scheduler consumes.
 //! * [`controller`] — the per-channel memory controller.
+//! * [`integrity`] — the retention-integrity oracle and refresh fault
+//!   injection (skipped/delayed commands, weak rows).
+//! * [`error`] — typed diagnostic errors with state snapshots.
 //! * [`stats`] — controller counters.
 //!
 //! ## Example
@@ -45,7 +48,9 @@
 
 pub mod bank;
 pub mod controller;
+pub mod error;
 pub mod geometry;
+pub mod integrity;
 pub mod mapping;
 pub mod power;
 pub mod refresh;
@@ -57,7 +62,12 @@ pub mod timing;
 /// Convenient glob-import of the crate's commonly used types.
 pub mod prelude {
     pub use crate::controller::{ControllerConfig, MemoryController, QueueFull};
+    pub use crate::error::{ControllerSnapshot, DramError};
     pub use crate::geometry::{BankId, Geometry, Location};
+    pub use crate::integrity::{
+        IntegrityConfig, RefreshFaults, RetentionTracker, RetentionViolation, ViolationKind,
+        WeakRow,
+    };
     pub use crate::mapping::{AddressMapping, MappingScheme};
     pub use crate::power::{energy, EnergyBreakdown, PowerParams};
     pub use crate::refresh::{BusyForecast, RefreshPolicyKind};

@@ -218,7 +218,11 @@ impl AddressMapping {
     /// under this mapping.
     pub fn addr_bits(&self) -> u32 {
         let g = &self.geometry;
-        g.offset_bits() + g.col_bits() + g.channel_bits() + g.bank_bits() + g.rank_bits()
+        g.offset_bits()
+            + g.col_bits()
+            + g.channel_bits()
+            + g.bank_bits()
+            + g.rank_bits()
             + g.row_bits()
     }
 
@@ -358,8 +362,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid geometry")]
     fn new_panics_on_bad_geometry() {
-        let mut g = Geometry::default();
-        g.banks_per_rank = 5;
+        let g = Geometry {
+            banks_per_rank: 5,
+            ..Geometry::default()
+        };
         let _ = AddressMapping::new(g, MappingScheme::RowRankBankColumn);
     }
 }

@@ -153,10 +153,14 @@ mod tests {
         // 8× the commands at 1/8 the energy: per-bank refresh costs the
         // same refresh energy as all-bank for equal row coverage.
         let p = PowerParams::ddr3_1600(Density::Gb32);
-        let mut ab = ControllerStats::default();
-        ab.refreshes_ab = 128;
-        let mut pb = ControllerStats::default();
-        pb.refreshes_pb = 128 * 8;
+        let ab = ControllerStats {
+            refreshes_ab: 128,
+            ..ControllerStats::default()
+        };
+        let pb = ControllerStats {
+            refreshes_pb: 128 * 8,
+            ..ControllerStats::default()
+        };
         let ea = energy(&ab, Ps::ZERO, &p).refresh_nj;
         let eb = energy(&pb, Ps::ZERO, &p).refresh_nj;
         assert!((ea - eb).abs() < 1e-6, "{ea} vs {eb}");

@@ -13,7 +13,6 @@ use super::{BusyForecast, QueueSnapshot, RefreshOp, RefreshPolicy, RefreshPolicy
 /// (JEDEC's postponement allowance).
 pub const MAX_POSTPONED: u64 = 8;
 
-
 /// All-bank refresh with elastic postponement: when a refresh becomes
 /// due while the transaction queues are non-empty, it is deferred in
 /// small steps until either the controller drains or the rank has

@@ -243,10 +243,7 @@ mod tests {
         let p = NoRefresh;
         assert_eq!(p.next_due(), None);
         assert_eq!(p.kind(), RefreshPolicyKind::NoRefresh);
-        assert_eq!(
-            p.forecast(Ps::ZERO, Ps::from_ms(1)),
-            BusyForecast::Idle
-        );
+        assert_eq!(p.forecast(Ps::ZERO, Ps::from_ms(1)), BusyForecast::Idle);
         assert_eq!(p.next_boundary(Ps::ZERO), None);
     }
 

@@ -90,7 +90,7 @@ impl RefreshPolicy for OooPerBank {
                 .get(flat as usize)
                 .copied()
                 .unwrap_or(0);
-            if best.map_or(true, |(bq, _)| queued < bq) {
+            if best.is_none_or(|(bq, _)| queued < bq) {
                 best = Some((queued, b));
             }
         }
@@ -213,7 +213,7 @@ mod tests {
             let t = RefreshTiming::new(Density::Gb32, retention);
             let mut p = OooPerBank::new(&t, &Geometry::default());
             let snap = snap_with(&[]);
-            let mut covered = vec![0u64; 16];
+            let mut covered = [0u64; 16];
             loop {
                 let due = p.next_due().unwrap();
                 if due >= t.trefw {

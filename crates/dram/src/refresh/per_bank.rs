@@ -241,9 +241,8 @@ impl RefreshPolicy for PerBankSequential {
                 }
             }
             self.slices_done[engine] += 1;
-            self.base.due[engine] = self.base.due[engine].max(Ps(
-                self.slice_len.as_ps() * self.slices_done[engine],
-            ));
+            self.base.due[engine] =
+                self.base.due[engine].max(Ps(self.slice_len.as_ps() * self.slices_done[engine]));
         } else {
             self.base.due[engine] += self.base.trefi_rank;
         }
@@ -474,7 +473,7 @@ mod tests {
                     rr = PerBankRoundRobin::new(&t, &Geometry::default());
                     &mut rr
                 };
-                let mut covered = vec![0u64; 16];
+                let mut covered = [0u64; 16];
                 let snap = QueueSnapshot::default();
                 loop {
                     let due = p.next_due().unwrap();

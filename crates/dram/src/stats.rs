@@ -50,6 +50,15 @@ pub struct ControllerStats {
     pub queue_reject_writes: u64,
     /// Write-drain episodes entered (high-watermark crossings).
     pub write_drains: u64,
+    /// Retention violations found by the integrity oracle. Unlike the
+    /// other counters this mirrors the tracker's *run-cumulative* total
+    /// (integrity is a property of the whole run, not the measurement
+    /// window), so it survives the warm-up `reset`.
+    pub retention_violations: u64,
+    /// Refresh commands dropped by the active fault plan.
+    pub injected_skip_faults: u64,
+    /// Refresh commands delayed by the active fault plan.
+    pub injected_delay_faults: u64,
 }
 
 impl ControllerStats {

@@ -4,18 +4,16 @@ use proptest::prelude::*;
 
 use refsim_dram::geometry::{BankId, Geometry, Location};
 use refsim_dram::mapping::{AddressMapping, MappingScheme};
-use refsim_dram::refresh::{
-    build_policy, QueueSnapshot, RefreshOp, RefreshPolicyKind,
-};
+use refsim_dram::refresh::{build_policy, QueueSnapshot, RefreshOp, RefreshPolicyKind};
 use refsim_dram::time::Ps;
 use refsim_dram::timing::{Density, FgrMode, RefreshTiming, Retention};
 
 fn arb_geometry() -> impl Strategy<Value = Geometry> {
     (
-        0u32..2,              // channels exponent (1 or 2)
-        0u32..2,              // ranks exponent (1 or 2)
-        1u32..4,              // banks exponent (2..8)
-        10u32..20,            // rows exponent
+        0u32..2,   // channels exponent (1 or 2)
+        0u32..2,   // ranks exponent (1 or 2)
+        1u32..4,   // banks exponent (2..8)
+        10u32..20, // rows exponent
     )
         .prop_map(|(c, r, b, rows)| Geometry {
             channels: 1 << c,
@@ -129,7 +127,7 @@ proptest! {
             per_bank_queued: vec![0; 16],
             utilization: 0.0,
         };
-        let mut covered = vec![0u64; 16];
+        let mut covered = [0u64; 16];
         loop {
             let due = policy.next_due().expect("per-bank policies always refresh");
             if due >= timing.trefw {
@@ -165,7 +163,7 @@ proptest! {
         let g = Geometry::default();
         let mut policy = build_policy(mode, &timing, &g);
         let snap = QueueSnapshot::default();
-        let mut covered = vec![0u64; 2];
+        let mut covered = [0u64; 2];
         loop {
             let due = policy.next_due().expect("refreshing policy");
             if due >= timing.trefw {

@@ -41,7 +41,11 @@ fn audit(trace: &[TraceEntry], t: &TimingParams, trfc_ab: Ps, trfc_pb: Ps) {
                 e.at
             );
         }
-        assert_eq!(e.at.as_ps() % t.tck.as_ps(), 0, "command off the clock grid");
+        assert_eq!(
+            e.at.as_ps() % t.tck.as_ps(),
+            0,
+            "command off the clock grid"
+        );
         last_cmd = Some(e.at);
 
         let r = e.rank as usize;
@@ -58,7 +62,11 @@ fn audit(trace: &[TraceEntry], t: &TimingParams, trfc_ab: Ps, trfc_pb: Ps) {
                 if let Some(refe) = b.last_ref_end {
                     assert!(e.at >= refe, "ACT during per-bank refresh at {}", e.at);
                 }
-                assert!(e.at >= rank_ref_end[r], "ACT during rank refresh at {}", e.at);
+                assert!(
+                    e.at >= rank_ref_end[r],
+                    "ACT during rank refresh at {}",
+                    e.at
+                );
                 // tRRD: previous ACT in the rank.
                 if let Some(&prev) = rank_acts[r].last() {
                     assert!(e.at - prev >= t.trrd, "tRRD violation at {}", e.at);

@@ -254,7 +254,9 @@ impl BankAwareAllocator {
             // target under the page-interleaved mappings unless the
             // target bank is exhausted.
             for _ in 0..self.total_banks {
-                let Ok(frame) = self.buddy.alloc(0) else { break };
+                let Ok(frame) = self.buddy.alloc(0) else {
+                    break;
+                };
                 self.stats.pulls += 1;
                 let bank = self.bank_of(frame);
                 if bank == target {
@@ -364,9 +366,7 @@ mod tests {
         let mut last = 0;
         // First allocation to bank 11 pulls ~12 pages, stashing banks
         // 1..11's pages; a following allocation to bank 5 is a cache hit.
-        let p = a
-            .alloc_page(BankVector::single(11), &mut last)
-            .unwrap();
+        let p = a.alloc_page(BankVector::single(11), &mut last).unwrap();
         assert_eq!(p.bank, 11);
         let pulls_before = a.stats().pulls;
         let q = a.alloc_page(BankVector::single(5), &mut last).unwrap();
@@ -428,11 +428,7 @@ mod tests {
             let bank = a.bank_of(frame);
             let (ch, id) = a.bank_parts(bank);
             assert_eq!(ch, 0);
-            assert_eq!(
-                id.flat(8),
-                bank % 16,
-                "roundtrip through bank_parts"
-            );
+            assert_eq!(id.flat(8), bank % 16, "roundtrip through bank_parts");
         }
         // Page-interleaved mapping: consecutive pages walk banks.
         assert_ne!(a.bank_of(0), a.bank_of(1));

@@ -75,7 +75,7 @@ impl BuddyAllocator {
             let mut order = MAX_ORDER;
             loop {
                 let size = 1u64 << order;
-                if start % size == 0 && start + size <= frames {
+                if start.is_multiple_of(size) && start + size <= frames {
                     break;
                 }
                 order -= 1;
@@ -144,7 +144,10 @@ impl BuddyAllocator {
     pub fn free(&mut self, start: Frame, order: u32) {
         assert!(order <= MAX_ORDER);
         let size = 1u64 << order;
-        assert!(start % size == 0, "misaligned free of {start:#x}@{order}");
+        assert!(
+            start.is_multiple_of(size),
+            "misaligned free of {start:#x}@{order}"
+        );
         assert!(start + size <= self.frames, "free beyond end of memory");
         assert!(
             self.alloc_map[start as usize] == (order + 1) as u8,

@@ -88,7 +88,7 @@ pub fn plan(kind: PartitionPlan, input: PartitionInput) -> Partition {
         input.total_banks > 0 && input.banks_per_rank > 0,
         "no banks"
     );
-    assert!(input.total_banks % input.banks_per_rank == 0);
+    assert!(input.total_banks.is_multiple_of(input.banks_per_rank));
     let cpus = (0..input.n_tasks).map(|i| i % input.n_cores).collect();
     let banks = match kind {
         PartitionPlan::None => vec![BankVector::all(input.total_banks); input.n_tasks as usize],
@@ -260,10 +260,7 @@ mod tests {
     #[test]
     fn confine_sweep_counts() {
         for k in [1u32, 2, 4, 6, 8] {
-            let p = plan(
-                PartitionPlan::Confine { banks_per_task: k },
-                paper_input(),
-            );
+            let p = plan(PartitionPlan::Confine { banks_per_task: k }, paper_input());
             assert!(
                 p.banks.iter().all(|b| b.count() == k * 2),
                 "k={k}: counts {:?}",
@@ -276,20 +273,14 @@ mod tests {
     fn confine_coverage_holds_when_windows_cover() {
         // 4 groups × exclusion length ≥ 8 ⇒ coverage (k ≤ 6).
         for k in [2u32, 4, 6] {
-            let p = plan(
-                PartitionPlan::Confine { banks_per_task: k },
-                paper_input(),
-            );
+            let p = plan(PartitionPlan::Confine { banks_per_task: k }, paper_input());
             assert!(
                 verify_coverage(&p, paper_input()).is_ok(),
                 "coverage must hold for k={k}"
             );
         }
         // k = 8 (no exclusion) cannot cover.
-        let p = plan(
-            PartitionPlan::Confine { banks_per_task: 8 },
-            paper_input(),
-        );
+        let p = plan(PartitionPlan::Confine { banks_per_task: 8 }, paper_input());
         assert!(verify_coverage(&p, paper_input()).is_err());
     }
 
@@ -324,9 +315,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "banks_per_task")]
     fn confine_rejects_zero() {
-        let _ = plan(
-            PartitionPlan::Confine { banks_per_task: 0 },
-            paper_input(),
-        );
+        let _ = plan(PartitionPlan::Confine { banks_per_task: 0 }, paper_input());
     }
 }

@@ -177,7 +177,7 @@ impl Scheduler {
                         break;
                     }
                     let bytes = t.bytes_on_bank(bank);
-                    if best.map_or(true, |(bb, _)| bytes < bb) {
+                    if best.is_none_or(|(bb, _)| bytes < bb) {
                         best = Some((bytes, id));
                     }
                     if examined >= eta_thresh {
@@ -299,8 +299,8 @@ mod tests {
     fn refresh_aware_skips_colliding_task() {
         // Task 0 may touch bank 0; task 1 is confined away from bank 0.
         let banks = [
-            BankVector::all(8),                      // task 0: uses bank 0
-            (1u32..8).collect::<BankVector>(),       // task 1: avoids bank 0
+            BankVector::all(8),                // task 0: uses bank 0
+            (1u32..8).collect::<BankVector>(), // task 1: avoids bank 0
         ];
         let mut s = Scheduler::new(SchedPolicy::refresh_aware(), Ps::from_ms(4), 1);
         let mut tasks = mk_tasks(2, 0, &banks);

@@ -100,10 +100,7 @@ impl Task {
 
     /// Bytes this task has allocated on `bank`.
     pub fn bytes_on_bank(&self, bank: u32) -> u64 {
-        self.bytes_per_bank
-            .get(bank as usize)
-            .copied()
-            .unwrap_or(0)
+        self.bytes_per_bank.get(bank as usize).copied().unwrap_or(0)
     }
 
     /// Whether scheduling this task during a quantum refreshing `bank`

@@ -27,7 +27,7 @@ impl WorkloadMix {
     ) -> Self {
         let mut tasks = Vec::new();
         for &(b, n) in groups {
-            tasks.extend(std::iter::repeat(b).take(n));
+            tasks.extend(std::iter::repeat_n(b, n));
         }
         WorkloadMix {
             name: name.into(),
@@ -98,11 +98,7 @@ pub fn table2() -> Vec<WorkloadMix> {
         WorkloadMix::from_groups("WL-7", &[(Stream, 4), (H264ref, 4)], "M + L"),
         WorkloadMix::from_groups("WL-8", &[(Bwaves, 4), (H264ref, 4)], "H + L"),
         WorkloadMix::from_groups("WL-9", &[(NpbUa, 4), (Povray, 4)], "M + L"),
-        WorkloadMix::from_groups(
-            "WL-10",
-            &[(Mcf, 4), (Bwaves, 2), (Povray, 2)],
-            "H + L",
-        ),
+        WorkloadMix::from_groups("WL-10", &[(Mcf, 4), (Bwaves, 2), (Povray, 2)], "H + L"),
     ]
 }
 

@@ -256,7 +256,11 @@ pub struct BenchmarkProfile {
 
 impl BenchmarkProfile {
     fn assert_valid(self) -> Self {
-        assert!(self.footprint > self.hot_bytes, "{}: hot ⊄ footprint", self.name);
+        assert!(
+            self.footprint > self.hot_bytes,
+            "{}: hot ⊄ footprint",
+            self.name
+        );
         assert!(self.mem_per_mille > 0 && self.mem_per_mille <= 1000);
         assert!(self.cold_per_mille <= 1000);
         assert!(self.write_per_mille <= 1000);

@@ -51,8 +51,7 @@ fn main() {
         }
     }
     println!(
-        "confining to one {} bank: {} of {} pages spilled to other banks",
-        "16 MiB",
+        "confining to one 16 MiB bank: {} of {} pages spilled to other banks",
         spills,
         2 * alloc.pages_per_bank()
     );

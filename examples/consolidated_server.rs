@@ -15,7 +15,13 @@ fn main() {
     let schemes = [Scheme::AllBank, Scheme::PerBank, Scheme::CoDesign];
     let mut table = Table::new(
         "Consolidation sweep on WL-10 (mcf + bwaves + povray), 32 Gb",
-        ["tasks/core", "all-bank IPC", "per-bank", "co-design", "co-design gain"],
+        [
+            "tasks/core",
+            "all-bank IPC",
+            "per-bank",
+            "co-design",
+            "co-design gain",
+        ],
     );
     for ratio in [2usize, 4, 8] {
         let mix = by_name("WL-10").unwrap().resized(2 * ratio);

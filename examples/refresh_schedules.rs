@@ -74,7 +74,9 @@ fn main() {
     for q in 0..4u64 {
         let (start, end) = (slice * q, slice * (q + 1));
         match c.refresh_forecast(start, end) {
-            BusyForecast::Bank(b) => println!("  quantum {q}: bank {b} is refreshing — schedule around it"),
+            BusyForecast::Bank(b) => {
+                println!("  quantum {q}: bank {b} is refreshing — schedule around it")
+            }
             other => println!("  quantum {q}: {other:?}"),
         }
     }

@@ -34,10 +34,7 @@ fn benchmarks_land_in_their_table2_classes() {
 fn mcf_is_the_most_intensive() {
     let mcf = solo_mpki(Benchmark::Mcf);
     for other in [Benchmark::GemsFdtd, Benchmark::Stream, Benchmark::Povray] {
-        assert!(
-            mcf > solo_mpki(other),
-            "mcf must out-miss {other}"
-        );
+        assert!(mcf > solo_mpki(other), "mcf must out-miss {other}");
     }
 }
 
@@ -65,7 +62,10 @@ fn streaming_benchmarks_have_high_row_locality_solo() {
     let mcf = System::new(cfg, &mix).run();
     let s = stream.controller.row_hit_rate().unwrap_or(0.0);
     let m = mcf.controller.row_hit_rate().unwrap_or(0.0);
-    assert!(s > 0.8, "solo stream should be row-hit dominated, got {s:.2}");
+    assert!(
+        s > 0.8,
+        "solo stream should be row-hit dominated, got {s:.2}"
+    );
     assert!(s > m, "stream row-hit rate {s:.2} must exceed mcf's {m:.2}");
 }
 

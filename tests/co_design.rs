@@ -77,8 +77,7 @@ fn co_design_eliminates_most_refresh_blocking() {
     // The refresh-aware schedule should remove the large majority of
     // refresh-blocked demand reads.
     assert!(
-        codesign.controller.refresh_blocked_reads * 4
-            < baseline.controller.refresh_blocked_reads,
+        codesign.controller.refresh_blocked_reads * 4 < baseline.controller.refresh_blocked_reads,
         "co-design blocked {} vs baseline {}",
         codesign.controller.refresh_blocked_reads,
         baseline.controller.refresh_blocked_reads
@@ -126,11 +125,7 @@ fn density_scaling_increases_refresh_pain() {
     for d in [Density::Gb8, Density::Gb32] {
         let base = tiny(SystemConfig::table1().with_density(d));
         let ab = System::new(base.clone(), &mix).run();
-        let nr = System::new(
-            base.with_refresh(RefreshPolicyKind::NoRefresh),
-            &mix,
-        )
-        .run();
+        let nr = System::new(base.with_refresh(RefreshPolicyKind::NoRefresh), &mix).run();
         degs.push(1.0 - ab.hmean_ipc() / nr.hmean_ipc());
     }
     assert!(
@@ -214,15 +209,12 @@ fn fgr_modes_lose_to_1x_on_average() {
     let mix = WorkloadMix::from_groups("bw", &[(Benchmark::Bwaves, 4)], "H");
     let base = tiny(SystemConfig::table1());
     let x1 = System::new(
-        base.clone().with_refresh(RefreshPolicyKind::Fgr(FgrMode::X1)),
+        base.clone()
+            .with_refresh(RefreshPolicyKind::Fgr(FgrMode::X1)),
         &mix,
     )
     .run();
-    let x4 = System::new(
-        base.with_refresh(RefreshPolicyKind::Fgr(FgrMode::X4)),
-        &mix,
-    )
-    .run();
+    let x4 = System::new(base.with_refresh(RefreshPolicyKind::Fgr(FgrMode::X4)), &mix).run();
     assert!(
         x4.hmean_ipc() < x1.hmean_ipc(),
         "4x {} must underperform 1x {}",

@@ -1,0 +1,189 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion 0.5 API for the workspace's
+//! `harness = false` benches: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Each bench runs a short warm-up followed by
+//! a fixed-duration measurement window and prints mean wall-clock time
+//! per iteration — no statistics, no plots, no CLI filtering.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { label: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up & calibration: one iteration to size the measurement loop.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~100ms of measurement or `sample_size` iterations,
+    // whichever is *smaller*, so heavyweight benches stay bounded.
+    let fit = (Duration::from_millis(100).as_nanos() / per_iter.as_nanos()).max(1);
+    let iters = (sample_size as u128).min(fit) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters as f64;
+    println!(
+        "bench {label:<48} {:>12.3} us/iter ({iters} iters)",
+        mean * 1e6
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `routine` under `name`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
+        run_one(name, 20, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measured iterations per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (formatting no-op here).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &m| {
+            b.iter(|| (0u64..100).map(|x| x * m).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_smoke() {
+        let mut c = Criterion::default();
+        wave(&mut c);
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no network access to a
+//! crates.io mirror, so the workspace vendors the *tiny* subset of the
+//! `rand 0.8` API it actually uses: [`Rng::gen_range`] over integer
+//! ranges, [`rngs::StdRng`], and [`SeedableRng::seed_from_u64`].
+//!
+//! The generator is SplitMix64 — deterministic, seedable, and more than
+//! good enough for workload-address synthesis and test-case generation.
+//! It is **not** cryptographically secure and does not match upstream
+//! `StdRng`'s output stream; nothing in this workspace depends on either
+//! property (all consumers seed explicitly and only require determinism).
+
+use std::ops::Range;
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open). Panics if empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_half_open(self.next_u64(), range.start, range.end)
+    }
+
+    /// Samples a value of type `T` from its full domain.
+    fn gen<T: Fill>(&mut self) -> T {
+        T::fill(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Deterministic.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps 64 random bits into `[lo, hi)`.
+    fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as u128) - (lo as u128);
+                lo + ((bits as u128 % span) as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (bits as u128 % span) as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Types constructible from 64 random bits, for [`Rng::gen`].
+pub trait Fill {
+    /// Builds a value from 64 random bits.
+    fn fill(bits: u64) -> Self;
+}
+
+impl Fill for u64 {
+    fn fill(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Fill for u32 {
+    fn fill(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Fill for bool {
+    fn fill(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill(bits: u64) -> Self {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for upstream `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Scramble once so nearby seeds diverge immediately.
+            let mut rng = StdRng { state };
+            rng.next_u64();
+            Self { state: rng.state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

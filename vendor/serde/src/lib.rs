@@ -1,0 +1,16 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! compatibility for result export — no code path serializes anything yet
+//! and no generic bound names these traits. The vendored derive macros
+//! therefore expand to nothing, and the traits here exist purely so
+//! `use serde::{Deserialize, Serialize};` resolves both the macro and the
+//! trait namespace exactly as with upstream serde.
+
+/// Marker trait matching `serde::Serialize`'s name and namespace.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name and namespace.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

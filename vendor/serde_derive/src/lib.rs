@@ -1,0 +1,17 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! Expanding to an empty token stream is sufficient because nothing in
+//! the workspace takes a `Serialize`/`Deserialize` bound; the derives are
+//! declared on result/config types only as forward compatibility.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
