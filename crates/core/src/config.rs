@@ -12,6 +12,7 @@ use refsim_dram::timing::{Density, RefreshTiming, Retention, TimingParams};
 use refsim_os::partition::PartitionPlan;
 use refsim_os::sched::SchedPolicy;
 
+use crate::error::RefsimError;
 use crate::faults::FaultPlan;
 
 /// Default time-scale divisor: `tREFW` shrinks 32× (64 ms → 2 ms,
@@ -247,28 +248,35 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency (zero cores,
-    /// refresh-aware scheduling over multiple channels, bad geometry…).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`RefsimError::InvalidConfig`] describing the first
+    /// inconsistency (zero cores, refresh-aware scheduling over
+    /// multiple channels, bad geometry…), so sweep harnesses record a
+    /// typed error row instead of parsing strings.
+    pub fn validate(&self) -> Result<(), RefsimError> {
+        let bad = |why: String| Err(RefsimError::InvalidConfig(why));
         if self.n_cores == 0 {
-            return Err("n_cores must be >= 1".to_owned());
+            return bad("n_cores must be >= 1".to_owned());
         }
-        self.geometry().validate()?;
-        self.timing_params().validate()?;
+        self.geometry()
+            .validate()
+            .map_err(RefsimError::InvalidConfig)?;
+        self.timing_params()
+            .validate()
+            .map_err(RefsimError::InvalidConfig)?;
         if self.measure == Ps::ZERO {
-            return Err("measure window must be non-empty".to_owned());
+            return bad("measure window must be non-empty".to_owned());
         }
         if matches!(self.sched_policy, SchedPolicy::RefreshAware { .. }) && self.channels != 1 {
-            return Err(
+            return bad(
                 "refresh-aware scheduling is defined per channel; use channels = 1".to_owned(),
             );
         }
         if self.effective_timeslice() == Ps::ZERO {
-            return Err("timeslice must be positive".to_owned());
+            return bad("timeslice must be positive".to_owned());
         }
         if let Some(plan) = &self.fault_plan {
             if plan.skip_ppm > 0 && plan.horizon > 0 && !self.controller.track_retention {
-                return Err(
+                return bad(
                     "fault plans that skip refreshes require retention tracking \
                      (silent data loss otherwise); enable with_retention_tracking()"
                         .to_owned(),
@@ -357,7 +365,9 @@ mod tests {
     fn validate_catches_multichannel_refresh_aware() {
         let mut c = SystemConfig::table1().co_design();
         c.channels = 2;
-        assert!(c.validate().unwrap_err().contains("channel"));
+        let e = c.validate().unwrap_err();
+        assert!(matches!(e, RefsimError::InvalidConfig(_)), "{e:?}");
+        assert!(e.to_string().contains("channel"), "{e}");
     }
 
     #[test]
@@ -366,7 +376,9 @@ mod tests {
         plan.skip_ppm = 1_000;
         plan.horizon = 100;
         let c = SystemConfig::table1().with_fault_plan(plan.clone());
-        assert!(c.validate().unwrap_err().contains("retention tracking"));
+        let e = c.validate().unwrap_err();
+        assert!(matches!(e, RefsimError::InvalidConfig(_)), "{e:?}");
+        assert!(e.to_string().contains("retention tracking"), "{e}");
         let c = SystemConfig::table1()
             .with_retention_tracking()
             .with_fault_plan(plan);

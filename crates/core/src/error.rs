@@ -74,6 +74,8 @@ pub enum RefsimError {
     /// A simulation worker panicked; the payload message is preserved
     /// when it was a string.
     Panicked(String),
+    /// A checkpoint image could not be written, read, or imported.
+    Checkpoint(String),
 }
 
 impl fmt::Display for RefsimError {
@@ -94,6 +96,7 @@ impl fmt::Display for RefsimError {
                 "no forward progress after {steps} steps at {at} [{snapshot}]"
             ),
             RefsimError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
+            RefsimError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
         }
     }
 }

@@ -2,10 +2,6 @@
 //! table and figure of the paper's evaluation (§6). Each builder returns
 //! [`Table`]s whose rows mirror the corresponding figure's series.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use refsim_dram::refresh::RefreshPolicyKind;
 use refsim_dram::timing::{Density, FgrMode, Retention};
 use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
@@ -19,7 +15,6 @@ use crate::error::RefsimError;
 use crate::faults::FaultPlan;
 use crate::metrics::{gmean_finite, RunMetrics};
 use crate::report::Table;
-use crate::system::System;
 
 /// A refresh-mitigation scheme as compared in the figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,44 +163,16 @@ pub fn run_many(jobs: &[Job], threads: usize) -> Vec<RunMetrics> {
 /// order. A bad configuration, a simulation fault, or even a panicking
 /// worker yields an `Err` for *that job only* — the rest of the sweep
 /// completes, and builders turn the error into an error row.
+///
+/// This is a thin front over [`crate::sweep::run_many_resilient`] with
+/// default options: panicked jobs get one blind retry, deterministic
+/// failures fail fast, and nothing touches disk. Sweeps that need
+/// crash-safe resume call the resilient runner directly with a sweep
+/// directory.
 pub fn run_many_checked(jobs: &[Job], threads: usize) -> Vec<Result<RunMetrics, RefsimError>> {
-    let n = jobs.len();
-    let results: Mutex<Vec<Option<Result<RunMetrics, RefsimError>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    let cursor = AtomicUsize::new(0);
-    let workers = threads.clamp(1, n.max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let m = catch_unwind(AssertUnwindSafe(|| {
-                    System::try_new(jobs[i].cfg.clone(), &jobs[i].mix)?.try_run()
-                }))
-                .unwrap_or_else(|payload| Err(RefsimError::Panicked(panic_message(&payload))));
-                results.lock().expect("poisoned").as_mut_slice()[i] = Some(m);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("poisoned")
-        .into_iter()
-        .map(|m| m.expect("every job ran"))
-        .collect()
-}
-
-/// Best-effort recovery of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
+    crate::sweep::run_many_resilient(jobs, threads, &crate::sweep::SweepOptions::default())
+        .expect("default sweep options never touch a manifest")
+        .results
 }
 
 /// Runs `scheme × workload` and returns harmonic-mean-IPC speedups
@@ -283,8 +250,8 @@ pub fn figure10(opts: &ExpOptions) -> Vec<Table> {
             t.push([
                 "gmean".to_owned(),
                 Table::fmt_f(1.0),
-                Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
-                Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
+                Table::fmt_opt_f(gmean_finite(speedups[0].iter().copied())),
+                Table::fmt_opt_f(gmean_finite(speedups[1].iter().copied())),
             ]);
             t
         })
@@ -354,12 +321,12 @@ pub fn figure03(opts: &ExpOptions) -> Table {
                 Scheme::NoRefresh,
                 opts,
             );
-            let deg = |v: &Vec<f64>| (1.0 - gmean_finite(v.iter().copied())) * 100.0;
+            let deg = |v: &Vec<f64>| gmean_finite(v.iter().copied()).map(|g| (1.0 - g) * 100.0);
             t.push([
                 retention.to_string(),
                 density.to_string(),
-                Table::fmt_pct(deg(&speedups[0])),
-                Table::fmt_pct(deg(&speedups[1])),
+                Table::fmt_opt_pct(deg(&speedups[0])),
+                Table::fmt_opt_pct(deg(&speedups[1])),
             ]);
         }
     }
@@ -386,7 +353,7 @@ pub fn figure04(opts: &ExpOptions) -> Table {
         row.extend(
             speedups
                 .iter()
-                .map(|v| Table::fmt_f(gmean_finite(v.iter().copied()))),
+                .map(|v| Table::fmt_opt_f(gmean_finite(v.iter().copied()))),
         );
         t.push(row);
     }
@@ -466,10 +433,10 @@ pub fn figure12(opts: &ExpOptions) -> Table {
     }
     t.push([
         "gmean".to_owned(),
-        Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
-        Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
-        Table::fmt_f(gmean_finite(speedups[2].iter().copied())),
-        Table::fmt_f(gmean_finite(speedups[3].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[0].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[1].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[2].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[3].iter().copied())),
     ]);
     t
 }
@@ -502,8 +469,8 @@ pub fn figure13(opts: &ExpOptions) -> Vec<Table> {
             t.push([
                 "gmean".to_owned(),
                 Table::fmt_f(1.0),
-                Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
-                Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
+                Table::fmt_opt_f(gmean_finite(speedups[0].iter().copied())),
+                Table::fmt_opt_f(gmean_finite(speedups[1].iter().copied())),
             ]);
             t
         })
@@ -543,10 +510,10 @@ pub fn figure14(opts: &ExpOptions) -> Table {
     }
     t.push([
         "gmean".to_owned(),
-        Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
-        Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
-        Table::fmt_f(gmean_finite(speedups[2].iter().copied())),
-        Table::fmt_f(gmean_finite(speedups[3].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[0].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[1].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[2].iter().copied())),
+        Table::fmt_opt_f(gmean_finite(speedups[3].iter().copied())),
     ]);
     t
 }
@@ -609,8 +576,8 @@ pub fn figure15(opts: &ExpOptions) -> Table {
             t.push([
                 v.label.to_owned(),
                 density.to_string(),
-                Table::fmt_f(gmean_finite(speedups[0].iter().copied())),
-                Table::fmt_f(gmean_finite(speedups[1].iter().copied())),
+                Table::fmt_opt_f(gmean_finite(speedups[0].iter().copied())),
+                Table::fmt_opt_f(gmean_finite(speedups[1].iter().copied())),
             ]);
         }
     }
@@ -813,7 +780,7 @@ pub fn ablation(opts: &ExpOptions) -> Table {
             (Ok(r), Ok(b)) => r.speedup_over(b),
             _ => f64::NAN,
         }));
-        t.push([(*label).to_owned(), Table::fmt_f(s)]);
+        t.push([(*label).to_owned(), Table::fmt_opt_f(s)]);
     }
     t
 }

@@ -8,12 +8,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod experiment;
 pub mod faults;
 pub mod metrics;
+pub mod replay;
 pub mod report;
+pub mod sweep;
 pub mod system;
 
 /// Commonly used types.

@@ -169,17 +169,19 @@ pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
 /// [`gmean`] over only the finite, positive values — the error-tolerant
 /// variant experiment sweeps use: a failed run contributes `NaN` to its
 /// speedup column, which is filtered here rather than poisoning the
-/// whole average. Returns `NaN` when *no* value survives the filter, so
-/// tables render the cell as an error instead of a fake `0.0`.
-pub fn gmean_finite(values: impl IntoIterator<Item = f64>) -> f64 {
+/// whole average. Returns `None` when *no* value survives the filter
+/// (an empty or all-error column), so tables render the cell as `n/a`
+/// via [`crate::report::Table::fmt_opt_f`] instead of a `NaN` that
+/// silently propagates through downstream arithmetic.
+pub fn gmean_finite(values: impl IntoIterator<Item = f64>) -> Option<f64> {
     let ok: Vec<f64> = values
         .into_iter()
         .filter(|v| v.is_finite() && *v > 0.0)
         .collect();
     if ok.is_empty() {
-        return f64::NAN;
+        return None;
     }
-    gmean(ok)
+    Some(gmean(ok))
 }
 
 #[cfg(test)]
@@ -266,10 +268,13 @@ mod tests {
 
     #[test]
     fn gmean_finite_filters_failed_runs() {
-        assert!((gmean_finite([2.0, f64::NAN, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((gmean_finite([1.5, f64::INFINITY, 0.0]) - 1.5).abs() < 1e-12);
-        assert!(gmean_finite([f64::NAN]).is_nan());
-        assert!(gmean_finite(std::iter::empty()).is_nan());
+        assert!((gmean_finite([2.0, f64::NAN, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((gmean_finite([1.5, f64::INFINITY, 0.0]).unwrap() - 1.5).abs() < 1e-12);
+        // Empty and all-error columns have no mean at all — `None`, so
+        // report cells show `n/a` rather than NaN leaking into math.
+        assert_eq!(gmean_finite([f64::NAN]), None);
+        assert_eq!(gmean_finite([f64::NAN, f64::INFINITY, -3.0]), None);
+        assert_eq!(gmean_finite(std::iter::empty()), None);
     }
 
     #[test]

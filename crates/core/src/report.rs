@@ -84,6 +84,18 @@ impl Table {
         }
     }
 
+    /// Formats an optional float cell: `None` — the marker for a column
+    /// with no usable data at all, e.g. every run in it failed — renders
+    /// as `n/a`, distinct from `error` (an individual failed run).
+    pub fn fmt_opt_f(v: Option<f64>) -> String {
+        v.map_or_else(|| "n/a".to_owned(), Self::fmt_f)
+    }
+
+    /// Formats an optional percentage cell (`None` → `n/a`).
+    pub fn fmt_opt_pct(v: Option<f64>) -> String {
+        v.map_or_else(|| "n/a".to_owned(), Self::fmt_pct)
+    }
+
     /// Renders as GitHub-flavored markdown.
     pub fn to_markdown(&self) -> String {
         let mut s = format!("### {}\n\n", self.title);
@@ -315,5 +327,16 @@ mod tests {
         t.push(["a", Table::fmt_f(1.0).as_str()]);
         t.push(["b", Table::fmt_f(f64::NAN).as_str()]);
         assert_eq!(t.bar_chart(1, 10).lines().count(), 2);
+    }
+
+    #[test]
+    fn missing_aggregates_render_as_na() {
+        // An all-error (or empty) column has no aggregate at all: `n/a`,
+        // distinct from a single failed run's `error` cell.
+        assert_eq!(Table::fmt_opt_f(None), "n/a");
+        assert_eq!(Table::fmt_opt_pct(None), "n/a");
+        assert_eq!(Table::fmt_opt_f(Some(1.5)), "1.500");
+        assert_eq!(Table::fmt_opt_pct(Some(12.34)), "12.3%");
+        assert_eq!(Table::fmt_opt_f(Some(f64::NAN)), "error");
     }
 }

@@ -1,0 +1,648 @@
+//! Resilient sweep runner: crash-safe checkpointing, bounded retry, and
+//! resumable manifests for multi-job experiment sweeps.
+//!
+//! [`run_many_resilient`] drives a batch of [`Job`]s across a worker
+//! pool like [`crate::experiment::run_many_checked`], but each job is
+//! steered through explicit span boundaries (see
+//! [`crate::replay::span_boundaries`]) so it can periodically persist a
+//! [`Checkpoint`]. A job that dies — panic, transient checkpoint I/O
+//! fault — is retried with bounded exponential backoff, resuming from
+//! its last on-disk checkpoint rather than from scratch; a job that
+//! keeps dying is *quarantined* so the rest of the sweep completes.
+//! Deterministic failures (invalid config, empty workload, OOM, DRAM
+//! faults, watchdog trips) are never retried: re-running a
+//! deterministic simulator reproduces them bit for bit.
+//!
+//! When a sweep directory is configured, a human-readable manifest
+//! records per-job status (`pending`/`done`/`failed <why>`), finished
+//! jobs' metrics are persisted, and a later invocation with the same
+//! jobs picks up exactly where the previous one stopped — the
+//! "kill -9 the sweep, rerun the command" recovery story.
+//!
+//! Determinism note: segmentation is part of the bit-identity contract.
+//! `checkpoint_every: None` steers each job through exactly the
+//! boundaries [`System::try_run`] uses, so this runner with default
+//! options is bit-compatible with the plain checked sweep.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use refsim_dram::time::Ps;
+
+use crate::checkpoint::{config_fingerprint, Checkpoint};
+use crate::codec::{from_bytes, to_bytes};
+use crate::error::RefsimError;
+use crate::experiment::Job;
+use crate::metrics::RunMetrics;
+use crate::replay::span_boundaries;
+use crate::system::System;
+
+/// Options for a resilient sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Directory for the manifest, per-job checkpoints, and persisted
+    /// metrics. `None` disables all persistence (in-memory retry only).
+    pub dir: Option<PathBuf>,
+    /// Interval between mid-run checkpoints. `None` checkpoints only at
+    /// the warm-up boundary and run end — the exact segmentation of
+    /// [`System::try_run`], preserving bit-identity with plain sweeps.
+    pub checkpoint_every: Option<Ps>,
+    /// Additional attempts after the first failure of a retryable job.
+    pub max_retries: u32,
+    /// Base backoff slept before a retry; doubles per attempt, capped
+    /// at one second.
+    pub backoff: Duration,
+    /// Test-only fault injection: panic a chosen job mid-run.
+    pub inject: Option<PanicInjection>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            dir: None,
+            checkpoint_every: None,
+            max_retries: 1,
+            backoff: Duration::ZERO,
+            inject: None,
+        }
+    }
+}
+
+/// Deterministic fault injection for testing the retry/resume path:
+/// the chosen job panics after completing `after_spans` span
+/// boundaries, on each of its first `attempts` attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicInjection {
+    /// Index of the job to kill.
+    pub job: usize,
+    /// Number of attempts that die before one is allowed to finish.
+    pub attempts: u32,
+    /// Span boundaries the doomed attempt completes before panicking.
+    pub after_spans: u64,
+}
+
+/// Outcome of a resilient sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-job results, in job order.
+    pub results: Vec<Result<RunMetrics, RefsimError>>,
+    /// Total retry attempts across all jobs.
+    pub retries: u64,
+    /// Jobs whose retryable failures exhausted the retry budget.
+    pub quarantined: Vec<usize>,
+    /// Attempts that resumed from an on-disk checkpoint.
+    pub resumed: u64,
+}
+
+/// Whether a failed attempt is worth retrying. Only nondeterministic
+/// failure modes qualify: everything else reproduces identically.
+fn is_retryable(e: &RefsimError) -> bool {
+    matches!(e, RefsimError::Panicked(_) | RefsimError::Checkpoint(_))
+}
+
+/// Best-effort recovery of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+// ---- manifest ------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobStatus {
+    Pending,
+    Done,
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct Manifest {
+    fingerprints: Vec<u64>,
+    status: Vec<JobStatus>,
+}
+
+impl Manifest {
+    fn new(fingerprints: Vec<u64>) -> Self {
+        let status = vec![JobStatus::Pending; fingerprints.len()];
+        Manifest {
+            fingerprints,
+            status,
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "refsim-sweep v1");
+        let _ = writeln!(s, "jobs {}", self.fingerprints.len());
+        for (i, (fp, st)) in self.fingerprints.iter().zip(&self.status).enumerate() {
+            let line = match st {
+                JobStatus::Pending => format!("job {i} {fp:016x} pending"),
+                JobStatus::Done => format!("job {i} {fp:016x} done"),
+                JobStatus::Failed(why) => {
+                    format!("job {i} {fp:016x} failed {}", why.replace('\n', " "))
+                }
+            };
+            let _ = writeln!(s, "{line}");
+        }
+        s
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("refsim-sweep v1") {
+            return Err("manifest header is not `refsim-sweep v1`".to_owned());
+        }
+        let n: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("jobs "))
+            .and_then(|v| v.parse().ok())
+            .ok_or("manifest is missing the job count")?;
+        let mut m = Manifest::new(vec![0; n]);
+        for (i, line) in lines.enumerate() {
+            let rest = line
+                .strip_prefix(&format!("job {i} "))
+                .ok_or_else(|| format!("manifest line {i} is malformed: `{line}`"))?;
+            let (fp, st) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("manifest line {i} is missing a status"))?;
+            *m.fingerprints
+                .get_mut(i)
+                .ok_or_else(|| format!("manifest has more rows than its job count {n}"))? =
+                u64::from_str_radix(fp, 16).map_err(|e| format!("bad fingerprint: {e}"))?;
+            m.status[i] = match st.split_once(' ') {
+                None if st == "pending" => JobStatus::Pending,
+                None if st == "done" => JobStatus::Done,
+                Some(("failed", why)) => JobStatus::Failed(why.to_owned()),
+                _ => return Err(format!("unknown job status `{st}`")),
+            };
+        }
+        if m.status.len() != n {
+            return Err(format!(
+                "manifest declares {n} jobs but lists {}",
+                m.status.len()
+            ));
+        }
+        Ok(m)
+    }
+
+    /// Atomically persists the manifest (tmp sibling + rename).
+    fn store(&self, dir: &Path) -> Result<(), RefsimError> {
+        let path = manifest_path(dir);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.render())
+            .and_then(|()| fs::rename(&tmp, &path))
+            .map_err(|e| RefsimError::Checkpoint(format!("storing sweep manifest: {e}")))
+    }
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("sweep.manifest")
+}
+
+fn ckpt_path(dir: &Path, job: usize) -> PathBuf {
+    dir.join(format!("job-{job}.ckpt"))
+}
+
+fn metrics_path(dir: &Path, job: usize) -> PathBuf {
+    dir.join(format!("job-{job}.metrics"))
+}
+
+// ---- per-attempt driver --------------------------------------------------
+
+/// Runs one attempt of `job`, checkpointing at each span boundary when a
+/// sweep directory is configured, resuming from an existing checkpoint
+/// when one is present and importable. Returns the run's metrics and
+/// whether the attempt resumed mid-run.
+fn run_attempt(
+    job: &Job,
+    job_idx: usize,
+    attempt: u32,
+    opts: &SweepOptions,
+) -> Result<(RunMetrics, bool), RefsimError> {
+    let cfg = &job.cfg;
+    let boundaries = span_boundaries(cfg, opts.checkpoint_every);
+    let mut resumed = false;
+    let mut sys = None;
+    if let Some(dir) = &opts.dir {
+        // A stale, corrupt, or mismatched checkpoint must never poison a
+        // retry — fall back to a fresh run instead.
+        if let Ok(cp) = Checkpoint::load(&ckpt_path(dir, job_idx)) {
+            if let Ok(s) = System::restore(cfg.clone(), &job.mix, &cp) {
+                resumed = true;
+                sys = Some(s);
+            }
+        }
+    }
+    let mut sys = match sys {
+        Some(s) => s,
+        None => {
+            let mut s = System::try_new(cfg.clone(), &job.mix)?;
+            if cfg.warmup == Ps::ZERO {
+                s.begin_measure();
+            }
+            s
+        }
+    };
+    for (s_idx, &b) in boundaries.iter().enumerate() {
+        if b <= sys.now() {
+            continue; // already covered by the restored checkpoint
+        }
+        sys.try_run_until(b)?;
+        if b == cfg.warmup {
+            sys.begin_measure();
+        }
+        if let Some(dir) = &opts.dir {
+            sys.checkpoint(&job.mix)
+                .save(&ckpt_path(dir, job_idx))
+                .map_err(|e| RefsimError::Checkpoint(e.to_string()))?;
+        }
+        if let Some(inj) = &opts.inject {
+            if inj.job == job_idx && attempt < inj.attempts && s_idx as u64 == inj.after_spans {
+                panic!("injected sweep fault (job {job_idx}, attempt {attempt})");
+            }
+        }
+    }
+    sys.audit_retention();
+    Ok((sys.collect(), resumed))
+}
+
+// ---- the runner ----------------------------------------------------------
+
+/// Error-tolerant, crash-safe sweep: runs every job to a `Result` in job
+/// order, retrying retryable failures from their last checkpoint with
+/// bounded backoff and quarantining jobs that keep failing. With
+/// `opts.dir` set, progress survives process death: rerun with the same
+/// jobs and options to resume from the manifest.
+///
+/// # Errors
+///
+/// Fails only on sweep-level corruption: an existing manifest whose job
+/// count or config fingerprints do not match `jobs`, or a manifest that
+/// cannot be written. Per-job failures are *data* — they land in
+/// [`SweepReport::results`], never abort the sweep.
+pub fn run_many_resilient(
+    jobs: &[Job],
+    threads: usize,
+    opts: &SweepOptions,
+) -> Result<SweepReport, RefsimError> {
+    let n = jobs.len();
+    let fingerprints: Vec<u64> = jobs
+        .iter()
+        .map(|j| config_fingerprint(&j.cfg, &j.mix))
+        .collect();
+
+    let mut manifest = Manifest::new(fingerprints.clone());
+    let mut results: Vec<Option<Result<RunMetrics, RefsimError>>> = (0..n).map(|_| None).collect();
+
+    if let Some(dir) = &opts.dir {
+        fs::create_dir_all(dir)
+            .map_err(|e| RefsimError::Checkpoint(format!("creating sweep dir: {e}")))?;
+        if let Ok(text) = fs::read_to_string(manifest_path(dir)) {
+            let prior = Manifest::parse(&text)
+                .map_err(|e| RefsimError::Checkpoint(format!("loading sweep manifest: {e}")))?;
+            if prior.fingerprints != fingerprints {
+                return Err(RefsimError::Checkpoint(
+                    "sweep manifest does not match this job list; \
+                     point --sweep-dir at a fresh directory"
+                        .to_owned(),
+                ));
+            }
+            for (i, st) in prior.status.iter().enumerate() {
+                if *st == JobStatus::Done {
+                    // Trust `done` only if the persisted metrics load.
+                    if let Ok(m) = fs::read(metrics_path(dir, i))
+                        .map_err(|e| e.to_string())
+                        .and_then(|b| from_bytes::<RunMetrics>(&b).map_err(|e| e.to_string()))
+                    {
+                        manifest.status[i] = JobStatus::Done;
+                        results[i] = Some(Ok(m));
+                    }
+                }
+                // `failed` (and unreadable `done`) rows go back to
+                // pending: a fresh invocation retries everything.
+            }
+        }
+        manifest.store(dir)?;
+    }
+
+    let pending: Vec<usize> = (0..n).filter(|&i| results[i].is_none()).collect();
+    let results = Mutex::new(results);
+    let manifest = Mutex::new(manifest);
+    let cursor = AtomicUsize::new(0);
+    let retries = AtomicU64::new(0);
+    let resumed_count = AtomicU64::new(0);
+    let quarantined = Mutex::new(Vec::new());
+    let workers = threads.clamp(1, pending.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let p = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&i) = pending.get(p) else { break };
+                let mut attempt = 0;
+                let outcome: Result<RunMetrics, RefsimError> = loop {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_attempt(&jobs[i], i, attempt, opts)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(RefsimError::Panicked(panic_message(payload.as_ref())))
+                    });
+                    match r {
+                        Ok((m, was_resumed)) => {
+                            if was_resumed {
+                                resumed_count.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break Ok(m);
+                        }
+                        Err(e) => {
+                            let give_up = !is_retryable(&e) || attempt >= opts.max_retries;
+                            if give_up {
+                                if is_retryable(&e) {
+                                    quarantined.lock().expect("poisoned").push(i);
+                                }
+                                break Err(e);
+                            }
+                            retries.fetch_add(1, Ordering::Relaxed);
+                            let backoff = opts
+                                .backoff
+                                .saturating_mul(1 << attempt.min(10))
+                                .min(Duration::from_secs(1));
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                            attempt += 1;
+                        }
+                    }
+                };
+                if let Some(dir) = &opts.dir {
+                    let status = match &outcome {
+                        Ok(m) => {
+                            // Persist metrics first so `done` is never
+                            // recorded without its payload.
+                            let ok = fs::write(metrics_path(dir, i), to_bytes(m)).is_ok();
+                            let _ = fs::remove_file(ckpt_path(dir, i));
+                            if ok {
+                                JobStatus::Done
+                            } else {
+                                JobStatus::Failed("metrics not persisted".to_owned())
+                            }
+                        }
+                        Err(e) => JobStatus::Failed(e.to_string()),
+                    };
+                    let mut mf = manifest.lock().expect("poisoned");
+                    mf.status[i] = status;
+                    let _ = mf.store(dir);
+                }
+                results.lock().expect("poisoned").as_mut_slice()[i] = Some(outcome);
+            });
+        }
+    });
+
+    let mut quarantined = quarantined.into_inner().expect("poisoned");
+    quarantined.sort_unstable();
+    Ok(SweepReport {
+        results: results
+            .into_inner()
+            .expect("poisoned")
+            .into_iter()
+            .map(|r| r.expect("every job produced a result"))
+            .collect(),
+        retries: retries.into_inner(),
+        quarantined,
+        resumed: resumed_count.into_inner(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use refsim_workloads::mix::WorkloadMix;
+    use refsim_workloads::profiles::Benchmark;
+
+    fn tiny_job(seed: u64) -> Job {
+        let mut cfg = SystemConfig::table1().with_time_scale(512).with_seed(seed);
+        cfg.warmup = cfg.trefw() / 8;
+        cfg.measure = cfg.trefw() / 2;
+        Job {
+            cfg,
+            mix: WorkloadMix::from_groups(
+                "tiny",
+                &[(Benchmark::Stream, 2), (Benchmark::Povray, 2)],
+                "M + L",
+            ),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("refsim-sweep-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_garbage() {
+        let mut m = Manifest::new(vec![0xdead_beef, 0x1234]);
+        m.status[0] = JobStatus::Done;
+        m.status[1] = JobStatus::Failed("watchdog: no progress".to_owned());
+        let back = Manifest::parse(&m.render()).expect("roundtrip");
+        assert_eq!(back.fingerprints, m.fingerprints);
+        assert_eq!(back.status, m.status);
+        assert!(Manifest::parse("not a manifest").is_err());
+        assert!(Manifest::parse("refsim-sweep v1\njobs 2\njob 0 zz pending").is_err());
+    }
+
+    #[test]
+    fn default_options_match_the_plain_checked_sweep() {
+        let jobs = [tiny_job(1), tiny_job(2)];
+        let plain = crate::experiment::run_many_checked(&jobs, 2);
+        let resilient = run_many_resilient(&jobs, 2, &SweepOptions::default()).expect("sweep");
+        assert_eq!(resilient.retries, 0);
+        for (a, b) in plain.iter().zip(&resilient.results) {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "resilient sweep must be bit-compatible with the plain sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_panic_resumes_from_checkpoint_bit_identical() {
+        let jobs = [tiny_job(3), tiny_job(4)];
+        let every = jobs[0].cfg.effective_timeslice() * 8;
+
+        // Reference: same segmentation, no faults, no persistence dir.
+        let clean = run_many_resilient(
+            &jobs,
+            1,
+            &SweepOptions {
+                checkpoint_every: Some(every),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("clean sweep");
+
+        // Faulted: job 0 dies once mid-run, retries, resumes from disk.
+        let dir = tmp_dir("resume");
+        let faulted = run_many_resilient(
+            &jobs,
+            1,
+            &SweepOptions {
+                dir: Some(dir.clone()),
+                checkpoint_every: Some(every),
+                max_retries: 1,
+                backoff: Duration::ZERO,
+                inject: Some(PanicInjection {
+                    job: 0,
+                    attempts: 1,
+                    after_spans: 2,
+                }),
+            },
+        )
+        .expect("faulted sweep");
+        assert_eq!(
+            faulted.retries, 1,
+            "the injected panic must trigger a retry"
+        );
+        assert_eq!(
+            faulted.resumed, 1,
+            "the retry must resume from the checkpoint"
+        );
+        assert!(faulted.quarantined.is_empty());
+        for (i, (a, b)) in clean.results.iter().zip(&faulted.results).enumerate() {
+            let (a, b) = (a.as_ref().expect("clean"), b.as_ref().expect("faulted"));
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "job {i}: resumed run must be bit-identical to the uninterrupted run"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeated_failures_are_quarantined_and_the_sweep_completes() {
+        let jobs = [tiny_job(5), tiny_job(6)];
+        let report = run_many_resilient(
+            &jobs,
+            2,
+            &SweepOptions {
+                checkpoint_every: Some(jobs[0].cfg.effective_timeslice() * 8),
+                max_retries: 1,
+                inject: Some(PanicInjection {
+                    job: 0,
+                    attempts: 5, // outlives the retry budget
+                    after_spans: 1,
+                }),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("sweep");
+        assert_eq!(report.quarantined, vec![0]);
+        assert!(
+            matches!(
+                report.results[0],
+                Err(RefsimError::Panicked(ref m)) if m.contains("injected")
+            ),
+            "unexpected job-0 result: {:?}",
+            report.results[0]
+        );
+        assert!(report.results[1].is_ok(), "healthy jobs must still finish");
+    }
+
+    #[test]
+    fn deterministic_errors_fail_fast_without_retry() {
+        let mut bad = tiny_job(7);
+        bad.cfg.measure = Ps::ZERO; // rejected by SystemConfig::validate
+        let report = run_many_resilient(&[bad], 1, &SweepOptions::default()).expect("sweep");
+        assert_eq!(report.retries, 0);
+        assert!(matches!(
+            report.results[0],
+            Err(RefsimError::InvalidConfig(_))
+        ));
+        assert!(report.quarantined.is_empty());
+    }
+
+    #[test]
+    fn second_invocation_resumes_from_manifest() {
+        let jobs = [tiny_job(8), tiny_job(9)];
+        let every = jobs[0].cfg.effective_timeslice() * 8;
+        let dir = tmp_dir("manifest");
+
+        // First invocation: job 1 keeps dying and ends up `failed`.
+        let first = run_many_resilient(
+            &jobs,
+            1,
+            &SweepOptions {
+                dir: Some(dir.clone()),
+                checkpoint_every: Some(every),
+                max_retries: 0,
+                inject: Some(PanicInjection {
+                    job: 1,
+                    attempts: 9,
+                    after_spans: 1,
+                }),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("first invocation");
+        assert!(first.results[0].is_ok());
+        assert!(first.results[1].is_err());
+
+        // Second invocation: no faults. Job 0 is loaded from its
+        // persisted metrics (not re-run); job 1 resumes from its
+        // checkpoint and must match a never-interrupted run.
+        let second = run_many_resilient(
+            &jobs,
+            1,
+            &SweepOptions {
+                dir: Some(dir.clone()),
+                checkpoint_every: Some(every),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("second invocation");
+        assert!(second.resumed >= 1, "job 1 must resume from its checkpoint");
+        let clean = run_many_resilient(
+            &jobs,
+            1,
+            &SweepOptions {
+                checkpoint_every: Some(every),
+                ..SweepOptions::default()
+            },
+        )
+        .expect("clean reference");
+        for (i, (a, b)) in clean.results.iter().zip(&second.results).enumerate() {
+            let (a, b) = (a.as_ref().expect("clean"), b.as_ref().expect("second"));
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "job {i}");
+        }
+        // Job 0's persisted metrics must also round-trip exactly.
+        assert_eq!(
+            format!("{:?}", first.results[0].as_ref().expect("first")),
+            format!("{:?}", second.results[0].as_ref().expect("second")),
+        );
+
+        // A different job list must be rejected, not silently mixed in.
+        let err = run_many_resilient(
+            &[tiny_job(10)],
+            1,
+            &SweepOptions {
+                dir: Some(dir.clone()),
+                ..SweepOptions::default()
+            },
+        )
+        .expect_err("mismatched manifest");
+        assert!(matches!(err, RefsimError::Checkpoint(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -19,14 +19,18 @@ use refsim_dram::mapping::AddressMapping;
 use refsim_dram::refresh::BusyForecast;
 use refsim_dram::request::{MemRequest, ReqId, ReqKind};
 use refsim_dram::time::Ps;
-use refsim_os::bank_alloc::BankAwareAllocator;
+use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
 use refsim_os::partition::{plan, PartitionInput};
 use refsim_os::sched::{SchedPolicy, Scheduler};
-use refsim_os::task::{Task as OsTask, TaskId};
+use refsim_os::task::{Task as OsTask, TaskId, TaskState};
 use refsim_workloads::mix::WorkloadMix;
 
 use refsim_workloads::profiles::TaskWorkload;
 
+use crate::checkpoint::{
+    config_fingerprint, Checkpoint, SavedBaseline, SavedCore, SavedInflight, SavedPendingMem,
+    SavedSim, SavedSystem, SavedTask,
+};
 use crate::config::SystemConfig;
 use crate::error::{RefsimError, SystemSnapshot};
 use crate::metrics::{RunMetrics, TaskMetrics};
@@ -34,6 +38,25 @@ use crate::metrics::{RunMetrics, TaskMetrics};
 /// Simulation step granularity: bounds cross-core skew at the memory
 /// controller. 250 ns ≈ 200 DRAM clocks ≪ the scheduling quantum.
 const STEP: Ps = Ps(250_000);
+
+/// Forward-progress budget for one `run_until` span of `span` ps: a
+/// comfortable multiple of the maximum number of step boundaries
+/// (`span / step`) plus quantum boundaries (`span / slice` per core)
+/// the span can contain, so the watchdog trips only on genuine
+/// livelock. All arithmetic saturates: extreme configurations — a
+/// timeslice smaller than the step, a tREFW-scale span with a
+/// picosecond slice — degrade to an effectively unlimited budget
+/// instead of overflowing into a tiny one that trips spuriously.
+pub fn watchdog_budget(span: u64, step: u64, slice: u64, cores: u64) -> u64 {
+    let base_steps = (span / step.max(1)).saturating_add(1);
+    let quantum_steps = (span / slice.max(1))
+        .saturating_add(1)
+        .saturating_mul(cores.max(1));
+    base_steps
+        .saturating_add(quantum_steps)
+        .saturating_mul(2)
+        .saturating_add(64)
+}
 
 /// A memory operation that could not be fully handed to the memory
 /// system yet (queue-full back-pressure); retried on later steps.
@@ -127,7 +150,7 @@ impl System {
     /// or [`RefsimError::EmptyWorkload`] instead of panicking, so sweeps
     /// can record a bad configuration as an error row.
     pub fn try_new(cfg: SystemConfig, mix: &WorkloadMix) -> Result<Self, RefsimError> {
-        cfg.validate().map_err(RefsimError::InvalidConfig)?;
+        cfg.validate()?;
         if mix.is_empty() {
             return Err(RefsimError::EmptyWorkload);
         }
@@ -263,11 +286,20 @@ impl System {
         self.try_run_until(warm_end)?;
         self.begin_measure();
         self.try_run_until(meas_end)?;
+        self.audit_retention();
+        Ok(self.collect())
+    }
+
+    /// Runs the end-of-run retention audit on every memory controller at
+    /// the current clock (a no-op unless retention tracking is enabled).
+    /// [`System::try_run`] calls this automatically; external drivers
+    /// that advance the system with [`System::run_until`] spans call it
+    /// before [`System::collect`].
+    pub fn audit_retention(&mut self) {
         let now = self.clock;
         for mc in &mut self.mcs {
             mc.audit_retention(now);
         }
-        Ok(self.collect())
     }
 
     /// Advances simulation to `t_end` (idempotent if already there).
@@ -292,10 +324,12 @@ impl System {
     /// exhaustion, and watchdog trips.
     pub fn try_run_until(&mut self, t_end: Ps) -> Result<(), RefsimError> {
         let span = t_end.saturating_sub(self.clock).as_ps();
-        let base_steps = span / STEP.as_ps() + 1;
-        let slice = self.sched.timeslice().as_ps().max(1);
-        let quantum_steps = (span / slice + 1) * self.cores.len() as u64;
-        let budget = 64 + 2 * (base_steps + quantum_steps);
+        let budget = watchdog_budget(
+            span,
+            STEP.as_ps(),
+            self.sched.timeslice().as_ps(),
+            self.cores.len() as u64,
+        );
         let mut steps = 0u64;
         while self.clock < t_end {
             steps += 1;
@@ -351,6 +385,252 @@ impl System {
             inflight_fills: self.inflight.len(),
             controller: self.mcs[0].state_snapshot(),
         }
+    }
+
+    // ---- checkpoint / restore ------------------------------------------
+
+    /// Captures the complete dynamic state of the machine as plain data.
+    ///
+    /// Together with the `(config, mix)` pair the system was built from,
+    /// the returned [`SavedSystem`] fully determines every future step:
+    /// restoring it into a freshly built twin (see
+    /// [`System::import_state`]) and advancing both machines through the
+    /// *same* `run_until` boundaries produces bit-identical state.
+    /// Snapshots are valid at any step boundary — in practice, whenever
+    /// the caller is between `run_until` calls.
+    pub fn export_state(&self) -> SavedSystem {
+        let cores = self
+            .cores
+            .iter()
+            .map(|core| {
+                let mut lines: Vec<(u64, u64)> = core
+                    .inflight_lines
+                    .iter()
+                    .map(|(&line, &id)| (line, id.0))
+                    .collect();
+                lines.sort_unstable();
+                SavedCore {
+                    caches: core.caches.save_state(),
+                    current: core.current,
+                    sched_base: core.sched_base,
+                    quantum_end: core.quantum_end,
+                    inflight_lines: lines,
+                }
+            })
+            .collect();
+        let tasks = self
+            .os_tasks
+            .iter()
+            .map(|t| SavedTask {
+                vruntime: t.vruntime,
+                state: match t.state {
+                    TaskState::Runnable => 0,
+                    TaskState::Running => 1,
+                    TaskState::Blocked => 2,
+                },
+                cpu: t.cpu,
+                possible_banks: t.possible_banks.bits(),
+                last_alloced_bank: t.last_alloced_bank,
+                mm: t.mm.save_state(),
+                bytes_per_bank: t.bytes_per_bank.clone(),
+                spilled_pages: t.spilled_pages,
+                cpu_time: t.cpu_time,
+                schedules: t.schedules,
+            })
+            .collect();
+        let sims = self
+            .sims
+            .iter()
+            .map(|s| SavedSim {
+                wl: s.wl.save_state(),
+                ctx: s.ctx.save_state(),
+                pending: s.pending.map(|p| SavedPendingMem {
+                    writeback: p.writeback,
+                    fill: p.fill,
+                    write: p.write,
+                    dependent: p.dependent,
+                }),
+            })
+            .collect();
+        let mut inflight: Vec<SavedInflight> = self
+            .inflight
+            .iter()
+            .map(|(&id, &(task, core, line))| SavedInflight {
+                id: id.0,
+                task,
+                core,
+                line,
+            })
+            .collect();
+        inflight.sort_unstable_by_key(|i| i.id);
+        SavedSystem {
+            clock: self.clock,
+            next_req: self.next_req,
+            measure_start: self.measure_start,
+            mcs: self.mcs.iter().map(|mc| mc.save_state()).collect(),
+            cores,
+            tasks,
+            sims,
+            sched: self.sched.save_state(),
+            alloc: self.alloc.save_state(),
+            inflight,
+            base: self
+                .base
+                .iter()
+                .map(|b| SavedBaseline {
+                    instructions: b.instructions,
+                    stall: b.stall,
+                    misses: b.misses,
+                    faults: b.faults,
+                    spilled: b.spilled,
+                    cpu_time: b.cpu_time,
+                    schedules: b.schedules,
+                })
+                .collect(),
+            sched_base_stats: self.sched_base_stats,
+        }
+    }
+
+    /// Imports dynamic state captured by [`System::export_state`] into
+    /// this machine, which must have been built from the same
+    /// `(config, mix)` pair (use [`System::restore`] for the checked,
+    /// fingerprinted path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first incompatibility (component
+    /// count, queue capacity, policy word-set, tag values…). On error
+    /// the machine may be partially updated and must be discarded.
+    pub fn import_state(&mut self, s: &SavedSystem) -> Result<(), String> {
+        if s.mcs.len() != self.mcs.len() {
+            return Err(format!(
+                "channel count mismatch: saved {} vs built {}",
+                s.mcs.len(),
+                self.mcs.len()
+            ));
+        }
+        if s.cores.len() != self.cores.len() {
+            return Err(format!(
+                "core count mismatch: saved {} vs built {}",
+                s.cores.len(),
+                self.cores.len()
+            ));
+        }
+        let n = self.os_tasks.len();
+        if s.tasks.len() != n || s.sims.len() != n || s.base.len() != n {
+            return Err(format!(
+                "task count mismatch: saved {}/{}/{} vs built {n}",
+                s.tasks.len(),
+                s.sims.len(),
+                s.base.len()
+            ));
+        }
+        for (mc, saved) in self.mcs.iter_mut().zip(&s.mcs) {
+            mc.restore_state(saved)?;
+        }
+        for (core, saved) in self.cores.iter_mut().zip(&s.cores) {
+            if let Some(t) = saved.current {
+                if t as usize >= n {
+                    return Err(format!("core runs unknown task {t}"));
+                }
+            }
+            core.caches.restore_state(&saved.caches)?;
+            core.current = saved.current;
+            core.sched_base = saved.sched_base;
+            core.quantum_end = saved.quantum_end;
+            core.inflight_lines = saved
+                .inflight_lines
+                .iter()
+                .map(|&(line, id)| (line, ReqId(id)))
+                .collect();
+        }
+        for (t, saved) in self.os_tasks.iter_mut().zip(&s.tasks) {
+            t.state = match saved.state {
+                0 => TaskState::Runnable,
+                1 => TaskState::Running,
+                2 => TaskState::Blocked,
+                other => return Err(format!("unknown task state tag {other}")),
+            };
+            if saved.bytes_per_bank.len() != t.bytes_per_bank.len() {
+                return Err(format!(
+                    "bank count mismatch: saved {} vs built {}",
+                    saved.bytes_per_bank.len(),
+                    t.bytes_per_bank.len()
+                ));
+            }
+            t.vruntime = saved.vruntime;
+            t.cpu = saved.cpu;
+            t.possible_banks = BankVector::from_bits(saved.possible_banks);
+            t.last_alloced_bank = saved.last_alloced_bank;
+            t.mm.restore_state(&saved.mm)?;
+            t.bytes_per_bank.clone_from(&saved.bytes_per_bank);
+            t.spilled_pages = saved.spilled_pages;
+            t.cpu_time = saved.cpu_time;
+            t.schedules = saved.schedules;
+        }
+        for (sim, saved) in self.sims.iter_mut().zip(&s.sims) {
+            sim.wl.restore_state(&saved.wl)?;
+            sim.ctx.restore_state(&saved.ctx);
+            sim.pending = saved.pending.map(|p| PendingMem {
+                writeback: p.writeback,
+                fill: p.fill,
+                write: p.write,
+                dependent: p.dependent,
+            });
+        }
+        self.sched.restore_state(&s.sched)?;
+        self.alloc.restore_state(&s.alloc)?;
+        self.inflight = s
+            .inflight
+            .iter()
+            .map(|i| (ReqId(i.id), (i.task, i.core, i.line)))
+            .collect();
+        for (b, saved) in self.base.iter_mut().zip(&s.base) {
+            *b = TaskSnapshot {
+                instructions: saved.instructions,
+                stall: saved.stall,
+                misses: saved.misses,
+                faults: saved.faults,
+                spilled: saved.spilled,
+                cpu_time: saved.cpu_time,
+                schedules: saved.schedules,
+            };
+        }
+        self.sched_base_stats = s.sched_base_stats;
+        self.clock = s.clock;
+        self.next_req = s.next_req;
+        self.measure_start = s.measure_start;
+        Ok(())
+    }
+
+    /// Captures a framed, fingerprinted [`Checkpoint`] of this machine.
+    /// `mix` must be the workload mix the system was built from — it
+    /// contributes to the fingerprint that guards restoration.
+    pub fn checkpoint(&self, mix: &WorkloadMix) -> Checkpoint {
+        Checkpoint {
+            fingerprint: config_fingerprint(&self.cfg, mix),
+            state: self.export_state(),
+        }
+    }
+
+    /// Rebuilds a machine from `(cfg, mix)` and restores `cp` into it.
+    ///
+    /// # Errors
+    ///
+    /// [`RefsimError::Checkpoint`] when the checkpoint's fingerprint does
+    /// not match `(cfg, mix)` or its state is rejected on import, plus
+    /// anything [`System::try_new`] can return.
+    pub fn restore(
+        cfg: SystemConfig,
+        mix: &WorkloadMix,
+        cp: &Checkpoint,
+    ) -> Result<Self, RefsimError> {
+        cp.check_fingerprint(config_fingerprint(&cfg, mix))
+            .map_err(|e| RefsimError::Checkpoint(e.to_string()))?;
+        let mut sys = Self::try_new(cfg, mix)?;
+        sys.import_state(&cp.state)
+            .map_err(RefsimError::Checkpoint)?;
+        Ok(sys)
     }
 
     /// Marks the warm-up → measurement boundary: statistics reset while
@@ -864,5 +1144,120 @@ mod tests {
         let mut sys = System::new(cfg, &by_name("WL-4").unwrap());
         let m = sys.run();
         assert_eq!(m.tasks.len(), 8);
+    }
+
+    /// Restoring a mid-run checkpoint into a fresh machine and advancing
+    /// both through the *same* `run_until` boundaries must be
+    /// bit-identical — byte-for-byte in the codec encoding, not merely
+    /// structurally equal.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        for cfg in [
+            quick(SystemConfig::table1()),
+            quick(SystemConfig::table1().co_design()),
+        ] {
+            let mix = small_mix();
+            let mid = cfg.warmup;
+            let end = cfg.warmup + cfg.measure / 2;
+
+            let mut reference = System::new(cfg.clone(), &mix);
+            reference.run_until(mid);
+            let cp = reference.checkpoint(&mix);
+
+            let mut resumed = System::restore(cfg.clone(), &mix, &cp).expect("restore");
+            assert_eq!(resumed.now(), mid);
+            assert_eq!(
+                crate::codec::to_bytes(&resumed.export_state()),
+                crate::codec::to_bytes(&cp.state),
+                "import/export must be the identity"
+            );
+
+            reference.run_until(end);
+            resumed.run_until(end);
+            assert_eq!(
+                crate::codec::to_bytes(&reference.export_state()),
+                crate::codec::to_bytes(&resumed.export_state()),
+                "resumed run diverged from uninterrupted run"
+            );
+        }
+    }
+
+    /// A checkpoint survives the framed byte format (not just the
+    /// in-memory structs) and still resumes bit-identically.
+    #[test]
+    fn checkpoint_survives_serialization() {
+        let cfg = quick(SystemConfig::table1().co_design());
+        let mix = small_mix();
+        let mut sys = System::new(cfg.clone(), &mix);
+        sys.run_until(cfg.warmup / 2);
+        let bytes = sys.checkpoint(&mix).to_bytes();
+        let cp = crate::checkpoint::Checkpoint::from_bytes(&bytes).expect("parse");
+        let restored = System::restore(cfg, &mix, &cp).expect("restore");
+        assert_eq!(
+            crate::codec::to_bytes(&restored.export_state()),
+            crate::codec::to_bytes(&sys.export_state())
+        );
+    }
+
+    /// Resuming across the warm-up → measurement boundary reproduces the
+    /// exact metrics of an uninterrupted run driven through the same
+    /// span boundaries.
+    #[test]
+    fn checkpoint_resume_reproduces_metrics() {
+        let cfg = quick(SystemConfig::table1());
+        let mix = small_mix();
+        let warm = cfg.warmup;
+        let end = cfg.warmup + cfg.measure;
+
+        let run_tail = |sys: &mut System| {
+            sys.begin_measure();
+            sys.try_run_until(end).expect("clean run");
+            sys.audit_retention();
+            sys.collect()
+        };
+
+        let mut reference = System::new(cfg.clone(), &mix);
+        reference.run_until(warm);
+        let cp = reference.checkpoint(&mix);
+        let m_ref = run_tail(&mut reference);
+
+        let mut resumed = System::restore(cfg, &mix, &cp).expect("restore");
+        let m_res = run_tail(&mut resumed);
+        assert_eq!(
+            format!("{:?}", m_ref),
+            format!("{:?}", m_res),
+            "metrics across a restore must match exactly"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_wrong_config_or_mix() {
+        let cfg = quick(SystemConfig::table1());
+        let mix = small_mix();
+        let mut sys = System::new(cfg.clone(), &mix);
+        sys.run_until(cfg.warmup / 4);
+        let cp = sys.checkpoint(&mix);
+
+        let other_mix = WorkloadMix::from_groups("other", &[(Benchmark::Stream, 2)], "M");
+        assert!(matches!(
+            System::restore(cfg.clone(), &other_mix, &cp),
+            Err(RefsimError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            System::restore(quick(SystemConfig::table1().co_design()), &mix, &cp),
+            Err(RefsimError::Checkpoint(_))
+        ));
+        // The original pair still restores.
+        assert!(System::restore(cfg, &mix, &cp).is_ok());
+    }
+
+    #[test]
+    fn import_rejects_mismatched_shape() {
+        let cfg = quick(SystemConfig::table1());
+        let state = System::new(cfg.clone(), &small_mix()).export_state();
+        let solo = WorkloadMix::from_groups("solo", &[(Benchmark::Povray, 1)], "L");
+        let mut target = System::new(cfg, &solo);
+        let err = target.import_state(&state).unwrap_err();
+        assert!(err.contains("task count"), "{err}");
     }
 }

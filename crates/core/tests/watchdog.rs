@@ -1,0 +1,110 @@
+//! Regression coverage for the forward-progress watchdog budget at
+//! extreme configurations: the budget must stay a generous upper bound
+//! on the real boundary count (no spurious `NoProgress` trips) without
+//! overflowing, even when the scheduling quantum is smaller than the
+//! simulation step or the tREFW scale makes spans huge.
+
+use proptest::prelude::*;
+
+use refsim_core::prelude::*;
+use refsim_core::system::watchdog_budget;
+use refsim_dram::time::Ps;
+use refsim_workloads::mix::WorkloadMix;
+use refsim_workloads::profiles::Benchmark;
+
+/// The step granularity `System::try_run_until` paces itself by (a
+/// constant in system.rs; mirrored here to pin the contract).
+const STEP_PS: u64 = 250_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The budget upper-bounds both boundary families with slack, never
+    /// overflows, and is monotone in the span.
+    #[test]
+    fn budget_bounds_and_never_overflows(
+        span in 0u64..=u64::MAX,
+        step in prop_oneof![Just(0u64), Just(1u64), Just(STEP_PS), any::<u64>()],
+        slice in prop_oneof![Just(0u64), Just(1u64), Just(100_000u64), any::<u64>()],
+        cores in 0u64..=1024,
+    ) {
+        let b = watchdog_budget(span, step, slice, cores);
+        // Enough for every step boundary…
+        prop_assert!(b >= span / step.max(1));
+        // …and for every quantum boundary on every core (saturating,
+        // as the budget itself saturates).
+        let quanta = (span / slice.max(1))
+            .saturating_add(1)
+            .saturating_mul(cores.max(1));
+        prop_assert!(b >= quanta.saturating_mul(2).min(u64::MAX - 64) || b == u64::MAX);
+        // Baseline slack even for empty spans.
+        prop_assert!(b >= 64);
+        // Monotone in span: a longer run never gets a smaller budget.
+        if span > 0 {
+            prop_assert!(b >= watchdog_budget(span - 1, step, slice, cores));
+        }
+    }
+
+    /// Degenerate divisors (zero step, zero slice, zero cores) are
+    /// clamped rather than panicking with a division by zero.
+    #[test]
+    fn degenerate_inputs_are_clamped(span in 0u64..=u64::MAX) {
+        let b = watchdog_budget(span, 0, 0, 0);
+        prop_assert!(b >= span.saturating_mul(2).min(u64::MAX / 2));
+    }
+}
+
+#[test]
+fn saturation_at_the_extremes() {
+    // tREFW-scale span with a 1 ps slice across many cores would
+    // overflow a naive `(span/slice + 1) * cores * 2 + 64`; the
+    // saturating version pins to u64::MAX instead of wrapping into a
+    // tiny budget that would trip the watchdog on a healthy run.
+    assert_eq!(watchdog_budget(u64::MAX, 1, 1, 1024), u64::MAX);
+    // span == step == slice: 2 step boundaries + 2 quantum boundaries,
+    // doubled, plus the 64-step slack.
+    assert_eq!(watchdog_budget(u64::MAX, u64::MAX, u64::MAX, 1), 72);
+}
+
+fn tiny_mix() -> WorkloadMix {
+    WorkloadMix::from_groups(
+        "tiny",
+        &[(Benchmark::Stream, 2), (Benchmark::Povray, 2)],
+        "M + L",
+    )
+}
+
+/// A quantum smaller than the 250 ns simulation step forces the step
+/// loop to pace by quantum boundaries — the configuration most likely
+/// to starve an under-budgeted watchdog. The run must complete, not
+/// trip `NoProgress`.
+#[test]
+fn sub_step_timeslice_does_not_trip_the_watchdog() {
+    let mut cfg = SystemConfig::table1().with_time_scale(2048);
+    cfg.timeslice = Some(Ps::from_ns(100)); // < STEP (250 ns)
+    cfg.warmup = Ps::ZERO;
+    cfg.measure = Ps::from_us(40);
+    cfg.validate().expect("valid config");
+    let mut sys = System::try_new(cfg, &tiny_mix()).expect("build");
+    sys.begin_measure();
+    sys.try_run_until(Ps::from_us(40))
+        .expect("sub-step quantum must not starve the watchdog");
+    let m = sys.collect();
+    assert!(
+        m.sched.picks > 0,
+        "the tiny quantum must actually drive scheduling"
+    );
+}
+
+/// A tiny tREFW scale (huge divisor → very short windows and slices —
+/// 4096 is near the ceiling where tREFW would drop below tREFIab) must
+/// also run to completion under the derived budget.
+#[test]
+fn tiny_trefw_scale_completes() {
+    let cfg = SystemConfig::table1().with_time_scale(4096);
+    cfg.validate().expect("valid config");
+    assert!(cfg.effective_timeslice() > Ps::ZERO);
+    let mut sys = System::try_new(cfg.clone(), &tiny_mix()).expect("build");
+    sys.try_run_until(cfg.warmup + cfg.measure)
+        .expect("scaled-down run must complete within budget");
+}

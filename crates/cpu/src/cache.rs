@@ -120,6 +120,31 @@ impl CacheStats {
     }
 }
 
+/// One tag-store line, captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavedLine {
+    /// Line tag.
+    pub tag: u64,
+    /// Valid bit.
+    pub valid: bool,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// LRU stamp.
+    pub stamp: u64,
+}
+
+/// Dynamic state of a [`Cache`], captured for checkpointing. The shape
+/// is configuration and is re-derived on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedCache {
+    /// All tag-store lines, row-major by set.
+    pub lines: Vec<SavedLine>,
+    /// LRU clock.
+    pub tick: u64,
+    /// Hit/miss/writeback counters.
+    pub stats: CacheStats,
+}
+
 /// A physically indexed, physically tagged cache tag store.
 ///
 /// # Examples
@@ -175,6 +200,47 @@ impl Cache {
     /// Zeroes counters (cache contents are preserved — warm-up boundary).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Captures the tag-store contents and counters for checkpointing.
+    pub fn save_state(&self) -> SavedCache {
+        SavedCache {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| SavedLine {
+                    tag: l.tag,
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    stamp: l.stamp,
+                })
+                .collect(),
+            tick: self.tick,
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstates state captured by [`Cache::save_state`] into a cache of
+    /// the same shape.
+    pub fn restore_state(&mut self, saved: &SavedCache) -> Result<(), String> {
+        if saved.lines.len() != self.lines.len() {
+            return Err(format!(
+                "cache line count mismatch: saved {}, expected {}",
+                saved.lines.len(),
+                self.lines.len()
+            ));
+        }
+        for (dst, src) in self.lines.iter_mut().zip(&saved.lines) {
+            *dst = Line {
+                tag: src.tag,
+                valid: src.valid,
+                dirty: src.dirty,
+                stamp: src.stamp,
+            };
+        }
+        self.tick = saved.tick;
+        self.stats = saved.stats;
+        Ok(())
     }
 
     /// Line-aligns an address.

@@ -136,10 +136,62 @@ pub struct ExecContext {
     misses: u64,
 }
 
+/// Dynamic state of an [`ExecContext`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedExecContext {
+    /// Core-local time.
+    pub now: Ps,
+    /// Instructions issued.
+    pub issued: u64,
+    /// In-flight misses as `(request id, instruction position, is_load)`.
+    pub outstanding: Vec<(u64, u64, bool)>,
+    /// Serializing load currently blocking issue, if any.
+    pub dependent_block: Option<u64>,
+    /// Cumulative memory stall time.
+    pub stall_time: Ps,
+    /// LLC misses issued.
+    pub misses: u64,
+}
+
 impl ExecContext {
     /// A fresh context at local time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Captures the full context state for checkpointing.
+    pub fn save_state(&self) -> SavedExecContext {
+        SavedExecContext {
+            now: self.now,
+            issued: self.issued,
+            outstanding: self
+                .outstanding
+                .iter()
+                .map(|o| (o.id.0, o.pos, o.is_load))
+                .collect(),
+            dependent_block: self.dependent_block.map(|id| id.0),
+            stall_time: self.stall_time,
+            misses: self.misses,
+        }
+    }
+
+    /// Reinstates state captured by [`ExecContext::save_state`],
+    /// replacing whatever this context held.
+    pub fn restore_state(&mut self, saved: &SavedExecContext) {
+        self.now = saved.now;
+        self.issued = saved.issued;
+        self.outstanding = saved
+            .outstanding
+            .iter()
+            .map(|&(id, pos, is_load)| Outstanding {
+                id: ReqId(id),
+                pos,
+                is_load,
+            })
+            .collect();
+        self.dependent_block = saved.dependent_block.map(ReqId);
+        self.stall_time = saved.stall_time;
+        self.misses = saved.misses;
     }
 
     /// Core-local current time.

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{Cache, CacheConfig, CacheStats, Lookup};
+use crate::cache::{Cache, CacheConfig, CacheStats, Lookup, SavedCache};
 
 /// Where an access was satisfied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +128,36 @@ impl CacheHierarchy {
         self.l1.reset_stats();
         self.l2.reset_stats();
     }
+
+    /// Captures both tag stores and the hierarchy counters for
+    /// checkpointing.
+    pub fn save_state(&self) -> SavedHierarchy {
+        SavedHierarchy {
+            l1: self.l1.save_state(),
+            l2: self.l2.save_state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstates state captured by [`CacheHierarchy::save_state`] into a
+    /// hierarchy of the same shape.
+    pub fn restore_state(&mut self, saved: &SavedHierarchy) -> Result<(), String> {
+        self.l1.restore_state(&saved.l1)?;
+        self.l2.restore_state(&saved.l2)?;
+        self.stats = saved.stats;
+        Ok(())
+    }
+}
+
+/// Dynamic state of a [`CacheHierarchy`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedHierarchy {
+    /// L1 tag store.
+    pub l1: SavedCache,
+    /// L2 tag store.
+    pub l2: SavedCache,
+    /// Hierarchy-level counters.
+    pub stats: HierStats,
 }
 
 #[cfg(test)]

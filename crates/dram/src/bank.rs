@@ -213,6 +213,57 @@ impl Bank {
         self.rows_refreshed += u64::from(rows);
         self.refresh_busy_total += trfc;
     }
+
+    /// Captures the full bank timing state for checkpointing.
+    pub fn save_state(&self) -> SavedBank {
+        SavedBank {
+            phase: self.phase,
+            open_row: self.open_row,
+            next_act: self.next_act,
+            next_pre: self.next_pre,
+            next_cas: self.next_cas,
+            busy_until: self.busy_until,
+            rows_refreshed: self.rows_refreshed,
+            refresh_busy_total: self.refresh_busy_total,
+            activations: self.activations,
+        }
+    }
+
+    /// Reinstates state captured by [`Bank::save_state`].
+    pub fn restore_state(&mut self, saved: &SavedBank) {
+        self.phase = saved.phase;
+        self.open_row = saved.open_row;
+        self.next_act = saved.next_act;
+        self.next_pre = saved.next_pre;
+        self.next_cas = saved.next_cas;
+        self.busy_until = saved.busy_until;
+        self.rows_refreshed = saved.rows_refreshed;
+        self.refresh_busy_total = saved.refresh_busy_total;
+        self.activations = saved.activations;
+    }
+}
+
+/// Dynamic state of a [`Bank`], captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavedBank {
+    /// Current phase.
+    pub phase: BankPhase,
+    /// Open row, if any.
+    pub open_row: Option<u32>,
+    /// Earliest next ACT.
+    pub next_act: Ps,
+    /// Earliest next PRE.
+    pub next_pre: Ps,
+    /// Earliest next column command.
+    pub next_cas: Ps,
+    /// End of the in-progress refresh.
+    pub busy_until: Ps,
+    /// Rows refreshed in the current window.
+    pub rows_refreshed: u64,
+    /// Total refresh busy time.
+    pub refresh_busy_total: Ps,
+    /// ACTs issued.
+    pub activations: u64,
 }
 
 impl Default for Bank {
@@ -307,6 +358,45 @@ impl RankState {
         self.refresh_until = at + trfc;
         self.refresh_busy_total += trfc;
     }
+
+    /// Captures the full rank timing state for checkpointing.
+    pub fn save_state(&self) -> SavedRank {
+        SavedRank {
+            recent_acts: self.recent_acts,
+            act_count: self.act_count,
+            next_act_rank: self.next_act_rank,
+            next_rd_rank: self.next_rd_rank,
+            refresh_until: self.refresh_until,
+            refresh_busy_total: self.refresh_busy_total,
+        }
+    }
+
+    /// Reinstates state captured by [`RankState::save_state`].
+    pub fn restore_state(&mut self, saved: &SavedRank) {
+        self.recent_acts = saved.recent_acts;
+        self.act_count = saved.act_count;
+        self.next_act_rank = saved.next_act_rank;
+        self.next_rd_rank = saved.next_rd_rank;
+        self.refresh_until = saved.refresh_until;
+        self.refresh_busy_total = saved.refresh_busy_total;
+    }
+}
+
+/// Dynamic state of a [`RankState`], captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavedRank {
+    /// Most recent ACT times (tFAW window).
+    pub recent_acts: [Ps; 4],
+    /// Total ACTs recorded.
+    pub act_count: u64,
+    /// Earliest next ACT in the rank.
+    pub next_act_rank: Ps,
+    /// Earliest next RD in the rank.
+    pub next_rd_rank: Ps,
+    /// End of the in-progress all-bank refresh.
+    pub refresh_until: Ps,
+    /// Total all-bank refresh lockout time.
+    pub refresh_busy_total: Ps,
 }
 
 impl Default for RankState {

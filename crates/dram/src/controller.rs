@@ -11,13 +11,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bank::{Bank, BankPhase, RankState};
+use crate::bank::{Bank, BankPhase, RankState, SavedBank, SavedRank};
 use crate::error::{ControllerSnapshot, DramError};
 use crate::geometry::BankId;
-use crate::integrity::{IntegrityConfig, RefreshFaults, RetentionTracker};
+use crate::integrity::{IntegrityConfig, RefreshFaults, RetentionTracker, SavedTracker};
 use crate::mapping::AddressMapping;
 use crate::refresh::{BusyForecast, QueueSnapshot, RefreshOp, RefreshPolicy, RefreshPolicyKind};
-use crate::request::{Completion, MemRequest, ReqKind};
+use crate::request::{Completion, MemRequest, ReqId, ReqKind};
 use crate::stats::ControllerStats;
 use crate::time::Ps;
 use crate::timing::{RefreshTiming, TimingParams};
@@ -98,6 +98,94 @@ pub struct TraceEntry {
     pub rank: u8,
     /// Target bank within the rank (`u8::MAX` for rank-wide commands).
     pub bank: u8,
+}
+
+/// Portable image of one queued transaction (see
+/// [`MemoryController::save_state`]). The DRAM [`crate::mapping::Location`]
+/// is not stored — it is re-derived from `paddr` through the rebuilt
+/// controller's address mapping on restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavedEntry {
+    /// Requester-assigned id ([`crate::request::ReqId`] payload).
+    pub id: u64,
+    /// True for a write transaction.
+    pub write: bool,
+    /// Physical byte address.
+    pub paddr: u64,
+    /// Queue-entry arrival instant.
+    pub arrival: Ps,
+    /// Originating core.
+    pub core: u8,
+    /// Originating task.
+    pub task: u32,
+    /// The request has needed an ACT so far (row miss).
+    pub needed_act: bool,
+    /// The request has needed a PRE first (row conflict).
+    pub needed_pre: bool,
+    /// The request was delayed by refresh at some point.
+    pub refresh_blocked: bool,
+}
+
+/// Portable image of a refresh that was due but not yet issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SavedPendingRefresh {
+    /// The selected refresh command.
+    pub op: RefreshOp,
+    /// The policy's scheduled due instant.
+    pub due: Ps,
+    /// Extra issue delay injected by the active fault plan.
+    pub injected_delay: Ps,
+}
+
+/// Portable image of the full dynamic state of a [`MemoryController`],
+/// produced by [`MemoryController::save_state`].
+///
+/// Captures everything needed to resume to a bit-identical future:
+/// bank/rank timing state, both transaction queues, bus bookkeeping,
+/// the in-flight refresh, utilization-epoch accumulators, undrained
+/// completions, statistics, the retention-oracle ledger, and the refresh
+/// policy's internal schedule (as opaque words). Deliberately *not*
+/// captured: the command trace buffer (diagnostic only) and the fault
+/// plan / configuration (both are inputs re-supplied when the controller
+/// is rebuilt).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedController {
+    /// Per-bank state, flat-indexed.
+    pub banks: Vec<SavedBank>,
+    /// Per-rank state.
+    pub ranks: Vec<SavedRank>,
+    /// Read queue entries, in queue order.
+    pub read_q: Vec<SavedEntry>,
+    /// Write queue entries, in queue order.
+    pub write_q: Vec<SavedEntry>,
+    /// Whether the controller is in write-drain mode.
+    pub draining: bool,
+    /// The event cursor.
+    pub cursor: Ps,
+    /// Command bus free instant.
+    pub cmd_bus_free: Ps,
+    /// Data bus free instant.
+    pub data_bus_free: Ps,
+    /// Rank owning the last data-bus transfer.
+    pub data_bus_owner: Option<u8>,
+    /// Refresh awaiting its scope to go idle, if any.
+    pub pending_refresh: Option<SavedPendingRefresh>,
+    /// Start of the current utilization epoch.
+    pub epoch_start: Ps,
+    /// Bus-busy time accumulated in the current epoch.
+    pub epoch_bus_busy: Ps,
+    /// Utilization reported for the previous epoch.
+    pub last_utilization: f64,
+    /// Read completions produced but not yet drained.
+    pub completions: Vec<Completion>,
+    /// Statistics accumulated so far.
+    pub stats: ControllerStats,
+    /// Retention-oracle ledger (present iff tracking was enabled).
+    pub integrity: Option<SavedTracker>,
+    /// Global refresh command sequence number.
+    pub refresh_seq: u64,
+    /// Refresh policy internal schedule, in the policy's own word format.
+    pub policy_words: Vec<u64>,
 }
 
 /// A queued transaction plus scheduling bookkeeping.
@@ -559,6 +647,164 @@ impl MemoryController {
         }
         self.cursor = target;
         self.roll_epochs(target);
+        Ok(())
+    }
+
+    /// Captures the controller's full dynamic state for checkpointing.
+    ///
+    /// The image pairs with a controller rebuilt from the *same*
+    /// configuration (mapping, timing, policy kind, queue sizing):
+    /// restore re-derives DRAM locations from physical addresses and
+    /// hands the policy back its schedule words, so any structural
+    /// mismatch is rejected by [`restore_state`](Self::restore_state).
+    pub fn save_state(&self) -> SavedController {
+        let save_entry = |e: &Entry| SavedEntry {
+            id: e.req.id.0,
+            write: !e.req.is_read(),
+            paddr: e.req.paddr,
+            arrival: e.req.arrival,
+            core: e.req.core,
+            task: e.req.task,
+            needed_act: e.needed_act,
+            needed_pre: e.needed_pre,
+            refresh_blocked: e.refresh_blocked,
+        };
+        SavedController {
+            banks: self.banks.iter().map(Bank::save_state).collect(),
+            ranks: self.ranks.iter().map(RankState::save_state).collect(),
+            read_q: self.read_q.iter().map(save_entry).collect(),
+            write_q: self.write_q.iter().map(save_entry).collect(),
+            draining: self.draining,
+            cursor: self.cursor,
+            cmd_bus_free: self.cmd_bus_free,
+            data_bus_free: self.data_bus_free,
+            data_bus_owner: self.data_bus_owner,
+            pending_refresh: self.pending_refresh.as_ref().map(|p| SavedPendingRefresh {
+                op: p.op,
+                due: p.due,
+                injected_delay: p.injected_delay,
+            }),
+            epoch_start: self.epoch_start,
+            epoch_bus_busy: self.epoch_bus_busy,
+            last_utilization: self.last_utilization,
+            completions: self.completions.clone(),
+            stats: self.stats.clone(),
+            integrity: self.integrity.as_ref().map(RetentionTracker::save_state),
+            refresh_seq: self.refresh_seq,
+            policy_words: self.policy.save_words(),
+        }
+    }
+
+    /// Restores the dynamic state captured by
+    /// [`save_state`](Self::save_state) into this controller, which must
+    /// have been built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural mismatch (bank/rank counts,
+    /// queue overflow, integrity-tracking presence, or policy words the
+    /// active policy rejects). The controller may be partially updated
+    /// when an error is returned; callers treat that as fatal and
+    /// discard it.
+    pub fn restore_state(&mut self, s: &SavedController) -> Result<(), String> {
+        if s.banks.len() != self.banks.len() {
+            return Err(format!(
+                "bank count mismatch: saved {}, controller {}",
+                s.banks.len(),
+                self.banks.len()
+            ));
+        }
+        if s.ranks.len() != self.ranks.len() {
+            return Err(format!(
+                "rank count mismatch: saved {}, controller {}",
+                s.ranks.len(),
+                self.ranks.len()
+            ));
+        }
+        if s.read_q.len() > self.cfg.read_queue {
+            return Err(format!(
+                "saved read queue ({}) exceeds capacity {}",
+                s.read_q.len(),
+                self.cfg.read_queue
+            ));
+        }
+        if s.write_q.len() > self.cfg.write_queue {
+            return Err(format!(
+                "saved write queue ({}) exceeds capacity {}",
+                s.write_q.len(),
+                self.cfg.write_queue
+            ));
+        }
+        if !self.policy.load_words(&s.policy_words) {
+            return Err(format!(
+                "refresh policy {:?} rejected {} saved schedule words",
+                self.policy.kind(),
+                s.policy_words.len()
+            ));
+        }
+        match (&mut self.integrity, &s.integrity) {
+            (Some(t), Some(saved)) => t
+                .restore_state(saved)
+                .map_err(|e| format!("retention tracker: {e}"))?,
+            (None, None) => {}
+            (have, _) => {
+                return Err(format!(
+                    "integrity tracking mismatch: saved {}, controller {}",
+                    if s.integrity.is_some() { "on" } else { "off" },
+                    if have.is_some() { "on" } else { "off" },
+                ));
+            }
+        }
+        for (b, saved) in self.banks.iter_mut().zip(&s.banks) {
+            b.restore_state(saved);
+        }
+        for (r, saved) in self.ranks.iter_mut().zip(&s.ranks) {
+            r.restore_state(saved);
+        }
+        let load_entry = |e: &SavedEntry, mapping: &AddressMapping| Entry {
+            req: MemRequest {
+                id: ReqId(e.id),
+                kind: if e.write {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                },
+                paddr: e.paddr,
+                loc: mapping.decode(e.paddr),
+                arrival: e.arrival,
+                core: e.core,
+                task: e.task,
+            },
+            needed_act: e.needed_act,
+            needed_pre: e.needed_pre,
+            refresh_blocked: e.refresh_blocked,
+        };
+        self.read_q = s
+            .read_q
+            .iter()
+            .map(|e| load_entry(e, &self.mapping))
+            .collect();
+        self.write_q = s
+            .write_q
+            .iter()
+            .map(|e| load_entry(e, &self.mapping))
+            .collect();
+        self.draining = s.draining;
+        self.cursor = s.cursor;
+        self.cmd_bus_free = s.cmd_bus_free;
+        self.data_bus_free = s.data_bus_free;
+        self.data_bus_owner = s.data_bus_owner;
+        self.pending_refresh = s.pending_refresh.map(|p| PendingRefresh {
+            op: p.op,
+            due: p.due,
+            injected_delay: p.injected_delay,
+        });
+        self.epoch_start = s.epoch_start;
+        self.epoch_bus_busy = s.epoch_bus_busy;
+        self.last_utilization = s.last_utilization;
+        self.completions = s.completions.clone();
+        self.stats = s.stats.clone();
+        self.refresh_seq = s.refresh_seq;
         Ok(())
     }
 

@@ -369,6 +369,86 @@ impl RetentionTracker {
     pub fn is_clean(&self) -> bool {
         self.total == 0
     }
+
+    /// Captures the sweep ledger, weak-row clocks, and violation record
+    /// for checkpointing.
+    pub fn save_state(&self) -> SavedTracker {
+        SavedTracker {
+            banks: self
+                .banks
+                .iter()
+                .map(|b| SavedBankTrack {
+                    cursor: b.cursor,
+                    spans: b.spans.iter().map(|s| (s.start, s.end, s.at)).collect(),
+                })
+                .collect(),
+            weak_last: self.weak.iter().map(|&(_, last)| last).collect(),
+            violations: self.violations.clone(),
+            total: self.total,
+        }
+    }
+
+    /// Reinstates state captured by [`RetentionTracker::save_state`] into
+    /// a tracker built with the same geometry and weak-row set.
+    pub fn restore_state(&mut self, saved: &SavedTracker) -> Result<(), String> {
+        if saved.banks.len() != self.banks.len() {
+            return Err(format!(
+                "tracker bank count mismatch: saved {}, expected {}",
+                saved.banks.len(),
+                self.banks.len()
+            ));
+        }
+        if saved.weak_last.len() != self.weak.len() {
+            return Err(format!(
+                "weak-row count mismatch: saved {}, expected {}",
+                saved.weak_last.len(),
+                self.weak.len()
+            ));
+        }
+        for (dst, src) in self.banks.iter_mut().zip(&saved.banks) {
+            if src.spans.is_empty() {
+                return Err("saved span ring is empty".to_owned());
+            }
+            dst.cursor = src.cursor;
+            dst.spans = src
+                .spans
+                .iter()
+                .map(|&(start, end, at)| Span { start, end, at })
+                .collect();
+        }
+        for ((_, last), &saved_last) in self.weak.iter_mut().zip(&saved.weak_last) {
+            *last = saved_last;
+        }
+        self.violations.clone_from(&saved.violations);
+        self.total = saved.total;
+        Ok(())
+    }
+}
+
+/// Per-bank sweep state of a [`RetentionTracker`], captured for
+/// checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedBankTrack {
+    /// Sweep cursor (next row to refresh).
+    pub cursor: u32,
+    /// Span ring as `(row_start, row_end, last_refresh)` front-to-back.
+    pub spans: Vec<(u32, u32, Ps)>,
+}
+
+/// Dynamic state of a [`RetentionTracker`], captured for checkpointing.
+/// The config and weak-row definitions are configuration and are
+/// re-derived on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedTracker {
+    /// Per-bank sweep ledgers.
+    pub banks: Vec<SavedBankTrack>,
+    /// Last-refresh instant per registered weak row, in registration
+    /// order.
+    pub weak_last: Vec<Ps>,
+    /// Detailed violations recorded so far.
+    pub violations: Vec<RetentionViolation>,
+    /// Total violations including beyond the detail cap.
+    pub total: u64,
 }
 
 #[cfg(test)]

@@ -129,6 +129,36 @@ impl RefreshPolicy for AdaptiveRefresh {
     fn forecast(&self, _start: Ps, _end: Ps) -> BusyForecast {
         BusyForecast::Unpredictable
     }
+
+    fn save_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.due.len() + 2);
+        words.push(match self.mode {
+            FgrMode::X1 => 0,
+            FgrMode::X2 => 1,
+            FgrMode::X4 => 2,
+        });
+        words.extend(self.due.iter().map(|d| d.as_ps()));
+        words.push(self.switches);
+        words
+    }
+
+    fn load_words(&mut self, words: &[u64]) -> bool {
+        if words.len() != self.due.len() + 2 {
+            return false;
+        }
+        let mode = match words[0] {
+            0 => FgrMode::X1,
+            1 => FgrMode::X2,
+            2 => FgrMode::X4,
+            _ => return false,
+        };
+        self.mode = mode;
+        for (d, &w) in self.due.iter_mut().zip(&words[1..]) {
+            *d = Ps(w);
+        }
+        self.switches = words[words.len() - 1];
+        true
+    }
 }
 
 #[cfg(test)]

@@ -119,6 +119,29 @@ impl RefreshPolicy for ElasticRefresh {
     fn forecast(&self, _start: Ps, _end: Ps) -> BusyForecast {
         BusyForecast::Unpredictable
     }
+
+    fn save_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(2 * self.due.len() + 1);
+        words.extend(self.owed_from.iter().map(|d| d.as_ps()));
+        words.extend(self.due.iter().map(|d| d.as_ps()));
+        words.push(self.postponements);
+        words
+    }
+
+    fn load_words(&mut self, words: &[u64]) -> bool {
+        let ranks = self.due.len();
+        if words.len() != 2 * ranks + 1 {
+            return false;
+        }
+        for (d, &w) in self.owed_from.iter_mut().zip(&words[..ranks]) {
+            *d = Ps(w);
+        }
+        for (d, &w) in self.due.iter_mut().zip(&words[ranks..2 * ranks]) {
+            *d = Ps(w);
+        }
+        self.postponements = words[2 * ranks];
+        true
+    }
 }
 
 #[cfg(test)]

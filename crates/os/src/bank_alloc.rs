@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use refsim_dram::geometry::BankId;
 use refsim_dram::mapping::AddressMapping;
 
-use crate::buddy::{BuddyAllocator, Frame, OutOfMemory};
+use crate::buddy::{BuddyAllocator, Frame, OutOfMemory, SavedBuddy};
 
 /// Page size: 4 KiB (the paper excludes large pages, footnote 9).
 pub const PAGE_BYTES: u64 = 4096;
@@ -90,6 +90,12 @@ impl BankVector {
     /// The raw bitmask.
     pub fn bits(&self) -> u64 {
         self.0
+    }
+
+    /// Rebuilds a set from a bitmask captured with
+    /// [`BankVector::bits`].
+    pub fn from_bits(bits: u64) -> Self {
+        BankVector(bits)
     }
 }
 
@@ -319,6 +325,45 @@ impl BankAwareAllocator {
     pub fn pages_per_bank(&self) -> u64 {
         self.mapping.geometry().bank_bytes() / PAGE_BYTES
     }
+
+    /// Captures the buddy allocator, per-bank caches, and counters for
+    /// checkpointing. The mapping is configuration.
+    pub fn save_state(&self) -> SavedBankAlloc {
+        SavedBankAlloc {
+            buddy: self.buddy.save_state(),
+            per_bank_free: self.per_bank_free.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Reinstates state captured by [`BankAwareAllocator::save_state`]
+    /// into an allocator built over the same mapping.
+    pub fn restore_state(&mut self, saved: &SavedBankAlloc) -> Result<(), String> {
+        if saved.per_bank_free.len() != self.per_bank_free.len() {
+            return Err(format!(
+                "per-bank free-list count mismatch: saved {}, expected {}",
+                saved.per_bank_free.len(),
+                self.per_bank_free.len()
+            ));
+        }
+        self.buddy.restore_state(&saved.buddy)?;
+        self.per_bank_free.clone_from(&saved.per_bank_free);
+        self.stats = saved.stats;
+        Ok(())
+    }
+}
+
+/// Dynamic state of a [`BankAwareAllocator`], captured for
+/// checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedBankAlloc {
+    /// Underlying buddy allocator state.
+    pub buddy: SavedBuddy,
+    /// Per-global-bank cached free frames (stack order preserved —
+    /// allocation pops from the back).
+    pub per_bank_free: Vec<Vec<Frame>>,
+    /// Allocator counters.
+    pub stats: BankAllocStats,
 }
 
 #[cfg(test)]

@@ -168,6 +168,60 @@ impl BuddyAllocator {
         }
         self.free_lists[order as usize].insert(start);
     }
+
+    /// Captures the full allocator state for checkpointing.
+    pub fn save_state(&self) -> SavedBuddy {
+        SavedBuddy {
+            frames: self.frames,
+            free_frames: self.free_frames,
+            free_lists: self
+                .free_lists
+                .iter()
+                .map(|s| s.iter().copied().collect())
+                .collect(),
+            alloc_map: self.alloc_map.clone(),
+        }
+    }
+
+    /// Reinstates state captured by [`BuddyAllocator::save_state`] into
+    /// an allocator managing the same number of frames.
+    pub fn restore_state(&mut self, saved: &SavedBuddy) -> Result<(), String> {
+        if saved.frames != self.frames {
+            return Err(format!(
+                "buddy frame count mismatch: saved {}, expected {}",
+                saved.frames, self.frames
+            ));
+        }
+        if saved.free_lists.len() != self.free_lists.len() {
+            return Err(format!(
+                "buddy order count mismatch: saved {}, expected {}",
+                saved.free_lists.len(),
+                self.free_lists.len()
+            ));
+        }
+        if saved.alloc_map.len() != self.alloc_map.len() {
+            return Err("buddy allocation map length mismatch".to_owned());
+        }
+        self.free_frames = saved.free_frames;
+        for (dst, src) in self.free_lists.iter_mut().zip(&saved.free_lists) {
+            *dst = src.iter().copied().collect();
+        }
+        self.alloc_map.clone_from(&saved.alloc_map);
+        Ok(())
+    }
+}
+
+/// Dynamic state of a [`BuddyAllocator`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedBuddy {
+    /// Total managed frames (restore sanity check).
+    pub frames: u64,
+    /// Currently free frames.
+    pub free_frames: u64,
+    /// Free block start frames per order, ascending.
+    pub free_lists: Vec<Vec<Frame>>,
+    /// Per-frame allocation records.
+    pub alloc_map: Vec<u8>,
 }
 
 #[cfg(test)]

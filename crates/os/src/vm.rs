@@ -77,6 +77,40 @@ impl AddressSpace {
     pub fn mappings(&self) -> impl Iterator<Item = (u64, Frame)> + '_ {
         self.page_table.iter().map(|(&v, &f)| (v, f))
     }
+
+    /// Captures the page table (sorted by VPN) and fault counter for
+    /// checkpointing.
+    pub fn save_state(&self) -> SavedAddressSpace {
+        let mut pages: Vec<(u64, Frame)> = self.mappings().collect();
+        pages.sort_unstable();
+        SavedAddressSpace {
+            pages,
+            faults: self.faults,
+        }
+    }
+
+    /// Reinstates state captured by [`AddressSpace::save_state`],
+    /// replacing all mappings without counting them as fresh faults.
+    pub fn restore_state(&mut self, saved: &SavedAddressSpace) -> Result<(), String> {
+        let mut table = HashMap::with_capacity(saved.pages.len());
+        for &(vpn, frame) in &saved.pages {
+            if table.insert(vpn, frame).is_some() {
+                return Err(format!("page {vpn:#x} duplicated in saved page table"));
+            }
+        }
+        self.page_table = table;
+        self.faults = saved.faults;
+        Ok(())
+    }
+}
+
+/// Dynamic state of an [`AddressSpace`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedAddressSpace {
+    /// `(vpn, frame)` mappings sorted by VPN.
+    pub pages: Vec<(u64, Frame)>,
+    /// Demand faults taken.
+    pub faults: u64,
 }
 
 #[cfg(test)]

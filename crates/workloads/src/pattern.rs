@@ -41,6 +41,15 @@ pub enum PatternKind {
     PointerChase,
 }
 
+/// Dynamic state of a [`PatternState`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedPattern {
+    /// Per-stream cursors (empty for random/pointer-chase kinds).
+    pub cursors: Vec<u64>,
+    /// Round-robin stream index.
+    pub next_stream: u64,
+}
+
 /// Stateful generator for one [`PatternKind`] over a region of `size`
 /// bytes.
 #[derive(Debug, Clone)]
@@ -83,6 +92,37 @@ impl PatternState {
     /// The pattern kind.
     pub fn kind(&self) -> PatternKind {
         self.kind
+    }
+
+    /// Captures the dynamic cursor state for checkpointing. The kind and
+    /// size are configuration and are re-derived on restore.
+    pub fn save_state(&self) -> SavedPattern {
+        SavedPattern {
+            cursors: self.cursors.clone(),
+            next_stream: self.next_stream as u64,
+        }
+    }
+
+    /// Reinstates cursor state captured by [`PatternState::save_state`]
+    /// into a freshly built pattern of the same kind and size.
+    pub fn restore_state(&mut self, saved: &SavedPattern) -> Result<(), String> {
+        if saved.cursors.len() != self.cursors.len() {
+            return Err(format!(
+                "pattern cursor count mismatch: saved {}, expected {}",
+                saved.cursors.len(),
+                self.cursors.len()
+            ));
+        }
+        if !self.cursors.is_empty() && saved.next_stream >= self.cursors.len() as u64 {
+            return Err(format!(
+                "pattern stream index {} out of range ({} streams)",
+                saved.next_stream,
+                self.cursors.len()
+            ));
+        }
+        self.cursors.clone_from(&saved.cursors);
+        self.next_stream = saved.next_stream as usize;
+        Ok(())
     }
 
     /// Produces the next region-relative offset and dependence flag.

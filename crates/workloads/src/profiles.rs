@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::pattern::{MemAccess, PatternKind, PatternState};
+use crate::pattern::{MemAccess, PatternKind, PatternState, SavedPattern};
 
 /// Memory-intensity class from Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -290,6 +290,19 @@ pub struct Op {
     pub mem: Option<MemAccess>,
 }
 
+/// Dynamic state of a [`TaskWorkload`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedWorkload {
+    /// Raw RNG state (resumes the exact random stream).
+    pub rng_state: u64,
+    /// Cold-region pattern cursors.
+    pub cold: SavedPattern,
+    /// Hot-region sequential cursor.
+    pub hot_cursor: u64,
+    /// Memory-instruction credit accumulator.
+    pub mem_credit: u32,
+}
+
 /// Deterministic instruction-stream generator for one task.
 ///
 /// # Examples
@@ -337,6 +350,33 @@ impl TaskWorkload {
     /// The profile in effect.
     pub fn profile(&self) -> &BenchmarkProfile {
         &self.profile
+    }
+
+    /// Captures the dynamic generator state (RNG, cursors) for
+    /// checkpointing. The benchmark and profile are configuration.
+    pub fn save_state(&self) -> SavedWorkload {
+        SavedWorkload {
+            rng_state: self.rng.state_u64(),
+            cold: self.cold.save_state(),
+            hot_cursor: self.hot_cursor,
+            mem_credit: self.mem_credit,
+        }
+    }
+
+    /// Reinstates state captured by [`TaskWorkload::save_state`] into a
+    /// freshly built generator for the same benchmark.
+    pub fn restore_state(&mut self, saved: &SavedWorkload) -> Result<(), String> {
+        if saved.hot_cursor >= self.profile.hot_bytes {
+            return Err(format!(
+                "hot cursor {} out of range (hot region {} bytes)",
+                saved.hot_cursor, self.profile.hot_bytes
+            ));
+        }
+        self.cold.restore_state(&saved.cold)?;
+        self.rng = StdRng::from_state_u64(saved.rng_state);
+        self.hot_cursor = saved.hot_cursor;
+        self.mem_credit = saved.mem_credit;
+        Ok(())
     }
 
     /// Generates the next unit of work.

@@ -137,6 +137,20 @@ pub mod rngs {
             Self { state: rng.state }
         }
     }
+
+    impl StdRng {
+        /// The raw generator state, for checkpointing. Feeding it back
+        /// through [`StdRng::from_state_u64`] resumes the exact stream.
+        pub fn state_u64(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a state captured with
+        /// [`StdRng::state_u64`] (no seed scrambling applied).
+        pub fn from_state_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
 }
 
 #[cfg(test)]
