@@ -1,0 +1,131 @@
+//! Chaos/soak harness: randomized config × workload × fault scenarios
+//! under `AuditLevel::Full`, with a violation summary and quarantined
+//! reproducer seeds (see `refsim_bench::soak` and README §soak).
+//!
+//! Exit status is non-zero iff a clean scenario violated an invariant
+//! or any scenario crashed — `missed` negative controls only warn.
+
+use refsim_bench::soak::{replay_seed, run_soak, FaultClass, Outcome, SoakOptions};
+use refsim_core::error::RefsimError;
+use refsim_core::report::Table;
+
+struct Args {
+    opts: SoakOptions,
+    csv: bool,
+    replay: Option<u64>,
+}
+
+fn parse_args(args: impl IntoIterator<Item = String>) -> Args {
+    let mut opts = SoakOptions::default();
+    let mut csv = false;
+    let mut replay = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs an integer value"))
+        };
+        match a.as_str() {
+            "--scenarios" => opts.scenarios = num("--scenarios") as usize,
+            "--seed" => opts.seed = num("--seed"),
+            "--scale" => opts.scale = num("--scale") as u32,
+            "--threads" => opts.threads = num("--threads") as usize,
+            "--replay" => replay = Some(num("--replay")),
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: [--scenarios N] [--seed N] [--scale N] [--threads N] \
+                     [--replay SEED] [--csv]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+    Args { opts, csv, replay }
+}
+
+fn emit(csv: bool, t: &Table) {
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+
+    if let Some(seed) = args.replay {
+        std::process::exit(replay(seed, args.opts.scale));
+    }
+
+    let report = run_soak(&args.opts);
+    emit(args.csv, &report.summary_table());
+    emit(args.csv, &report.checker_table());
+
+    for r in &report.results {
+        if matches!(r.outcome, Outcome::Violated | Outcome::Crashed) {
+            eprintln!(
+                "{}: seed {} [{}] {} — replay with: soak --replay {} --scale {}",
+                r.outcome.label(),
+                r.seed,
+                r.fault.label(),
+                r.error.as_deref().unwrap_or("invariant violation"),
+                r.seed,
+                args.opts.scale,
+            );
+        } else if r.outcome == Outcome::Missed {
+            eprintln!(
+                "missed: seed {} [{}] {} — dose below every checker threshold",
+                r.seed,
+                r.fault.label(),
+                r.label
+            );
+        }
+    }
+    let quarantined = report.quarantined();
+    if !quarantined.is_empty() {
+        eprintln!("quarantined seeds: {quarantined:?}");
+    }
+    std::process::exit(i32::from(report.failed()));
+}
+
+/// Reruns one scenario seed and prints full violation detail.
+fn replay(seed: u64, scale: u32) -> i32 {
+    let (s, run) = replay_seed(seed, scale);
+    println!("seed {}: {} fault={}", s.seed, s.label, s.fault.label());
+    match run {
+        Ok(m) => {
+            println!(
+                "clean: hmean IPC {:.4}, {} retention violations",
+                m.hmean_ipc(),
+                m.controller.retention_violations
+            );
+            0
+        }
+        Err(RefsimError::InvariantViolation(report)) => {
+            println!(
+                "sanitizer fired: {} total, {} errors",
+                report.total, report.errors
+            );
+            for v in &report.violations {
+                println!(
+                    "  [{}/{:?}] {} at {} (quantum {}): {}",
+                    v.layer, v.severity, v.checker, v.at, v.quantum, v.evidence
+                );
+            }
+            let mut t = Table::new("violations by checker", ["checker", "violations"]);
+            for (c, n) in report.by_checker() {
+                t.push([c.to_owned(), n.to_string()]);
+            }
+            println!("{t}");
+            i32::from(s.fault == FaultClass::None)
+        }
+        Err(e) => {
+            println!("crashed: {e}");
+            1
+        }
+    }
+}

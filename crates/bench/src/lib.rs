@@ -17,6 +17,8 @@
 use refsim_core::experiment::ExpOptions;
 use refsim_core::report::Table;
 
+pub mod soak;
+
 /// Parsed command line shared by the figure binaries.
 #[derive(Debug, Clone)]
 pub struct Cli {

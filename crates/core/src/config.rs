@@ -14,6 +14,7 @@ use refsim_os::sched::SchedPolicy;
 
 use crate::error::RefsimError;
 use crate::faults::FaultPlan;
+use crate::sanitize::AuditLevel;
 
 /// Default time-scale divisor: `tREFW` shrinks 32× (64 ms → 2 ms,
 /// quantum 4 ms → 125 µs) so experiments complete quickly while every
@@ -75,6 +76,10 @@ pub struct SystemConfig {
     /// Refresh-fault injection plan, expanded and installed into every
     /// memory controller at system construction. `None` injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Runtime invariant auditing level (`simsan`); `Off` by default so
+    /// un-audited runs stay bit-identical to previous releases.
+    #[serde(default)]
+    pub audit: AuditLevel,
 }
 
 impl SystemConfig {
@@ -104,6 +109,7 @@ impl SystemConfig {
             measure: Retention::Ms64.trefw() / u64::from(scale) * 2,
             seed: 0x5EED,
             fault_plan: None,
+            audit: AuditLevel::Off,
         }
     }
 
@@ -184,6 +190,12 @@ impl SystemConfig {
     /// would be silent data loss.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the runtime invariant-audit level (see [`crate::sanitize`]).
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = level;
         self
     }
 

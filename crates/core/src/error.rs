@@ -76,6 +76,10 @@ pub enum RefsimError {
     Panicked(String),
     /// A checkpoint image could not be written, read, or imported.
     Checkpoint(String),
+    /// The runtime invariant sanitizer found at least one error-severity
+    /// violation (see [`crate::sanitize`]). The run's numbers are not
+    /// trustworthy, but the simulation itself did not crash.
+    InvariantViolation(Box<crate::sanitize::ViolationReport>),
 }
 
 impl fmt::Display for RefsimError {
@@ -97,6 +101,9 @@ impl fmt::Display for RefsimError {
             ),
             RefsimError::Panicked(msg) => write!(f, "simulation panicked: {msg}"),
             RefsimError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+            RefsimError::InvariantViolation(report) => {
+                write!(f, "invariant violation: {report}")
+            }
         }
     }
 }

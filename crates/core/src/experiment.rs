@@ -180,8 +180,10 @@ pub fn run_many_checked(jobs: &[Job], threads: usize) -> Vec<Result<RunMetrics, 
 /// raw metrics in the same layout.
 ///
 /// Failed runs become `None` metrics and `NaN` speedups (rendered as
-/// `error` cells by [`Table::fmt_f`]) — one bad run never aborts the
-/// sweep.
+/// `error` cells by [`Table::fmt_f`]); runs rejected by the invariant
+/// sanitizer become `-inf` speedups (rendered as `violated` — the
+/// simulation finished but its results cannot be trusted). One bad run
+/// never aborts the sweep.
 fn run_schemes(
     base: &SystemConfig,
     schemes: &[Scheme],
@@ -203,25 +205,46 @@ fn run_schemes(
     }
     let metrics = run_many_checked(&jobs, opts.threads);
     let w = opts.workloads.len();
+    let base_idx = all.iter().position(|s| *s == baseline).expect("added");
+    let speedups = metrics
+        .chunks(w)
+        .take(schemes.len())
+        .map(|runs| {
+            runs.iter()
+                .zip(&metrics[base_idx * w..base_idx * w + w])
+                .map(|(r, b)| speedup_cell(r, b))
+                .collect()
+        })
+        .collect();
     let by_scheme: Vec<Vec<Option<RunMetrics>>> = metrics
         .chunks(w)
         .map(|c| c.iter().map(|r| r.as_ref().ok().cloned()).collect())
         .collect();
-    let base_idx = all.iter().position(|s| *s == baseline).expect("added");
-    let speedups = by_scheme
-        .iter()
-        .take(schemes.len())
-        .map(|runs| {
-            runs.iter()
-                .zip(&by_scheme[base_idx])
-                .map(|(r, b)| match (r, b) {
-                    (Some(r), Some(b)) => r.speedup_over(b),
-                    _ => f64::NAN,
-                })
-                .collect()
-        })
-        .collect();
     (speedups, by_scheme)
+}
+
+/// Speedup of run `r` over baseline `b` as a table cell value: `NaN`
+/// marks a crashed/errored run, `-inf` marks one the invariant
+/// sanitizer rejected. Both are skipped by [`gmean_finite`], so means
+/// stay meaningful either way.
+fn speedup_cell(r: &Result<RunMetrics, RefsimError>, b: &Result<RunMetrics, RefsimError>) -> f64 {
+    match (r, b) {
+        (Ok(r), Ok(b)) => r.speedup_over(b),
+        (Err(RefsimError::InvariantViolation(_)), _) => f64::NEG_INFINITY,
+        _ => f64::NAN,
+    }
+}
+
+/// Status cell for a chunk of per-workload results: `ok`, or the first
+/// failure — `violated: ...` for sanitizer rejections (the run finished
+/// but broke an invariant), `error: ...` for everything else (the run
+/// crashed or could not start).
+fn status_cell(chunk: &[Result<RunMetrics, RefsimError>]) -> String {
+    match chunk.iter().find_map(|r| r.as_ref().err()) {
+        None => "ok".to_owned(),
+        Some(e @ RefsimError::InvariantViolation(_)) => format!("violated: {e}"),
+        Some(e) => format!("error: {e}"),
+    }
 }
 
 /// **Figure 10**: IPC improvement of per-bank refresh and the co-design
@@ -776,10 +799,12 @@ pub fn ablation(opts: &ExpOptions) -> Table {
         ["variant", "speedup"],
     );
     for (i, (label, _)) in variants.iter().enumerate() {
-        let s = gmean_finite(chunks[i].iter().zip(chunks[0]).map(|(r, b)| match (r, b) {
-            (Ok(r), Ok(b)) => r.speedup_over(b),
-            _ => f64::NAN,
-        }));
+        let s = gmean_finite(
+            chunks[i]
+                .iter()
+                .zip(chunks[0])
+                .map(|(r, b)| speedup_cell(r, b)),
+        );
         t.push([(*label).to_owned(), Table::fmt_opt_f(s)]);
     }
     t
@@ -792,7 +817,8 @@ pub fn ablation(opts: &ExpOptions) -> Table {
 /// performance tables hide: oracle violations, injected skip/delay
 /// faults that fired, the scheduler's `η` fairness fallbacks, and the
 /// worst refresh postponement. A failed run degrades its scheme's row
-/// to an error status; the remaining schemes still report.
+/// to an `error` status — or `violated` when the invariant sanitizer
+/// rejected it — and the remaining schemes still report.
 pub fn robustness_table(opts: &ExpOptions, plan: Option<&FaultPlan>) -> Table {
     let schemes = [
         Scheme::AllBank,
@@ -827,10 +853,7 @@ pub fn robustness_table(opts: &ExpOptions, plan: Option<&FaultPlan>) -> Table {
     );
     for (s, chunk) in schemes.iter().zip(runs.chunks(w)) {
         let ok: Vec<&RunMetrics> = chunk.iter().filter_map(|r| r.as_ref().ok()).collect();
-        let status = match chunk.iter().find_map(|r| r.as_ref().err()) {
-            None => "ok".to_owned(),
-            Some(e) => format!("error: {e}"),
-        };
+        let status = status_cell(chunk);
         if ok.is_empty() {
             t.push([
                 s.label(),
@@ -878,6 +901,30 @@ mod tests {
             "M+L",
         )];
         o
+    }
+
+    #[test]
+    fn status_and_speedup_cells_classify_failures() {
+        use crate::sanitize::ViolationReport;
+        let viol = || {
+            RefsimError::InvariantViolation(Box::new(ViolationReport {
+                violations: Vec::new(),
+                total: 1,
+                errors: 1,
+            }))
+        };
+        let crash = || RefsimError::Panicked("boom".into());
+        assert_eq!(
+            status_cell(&[Err(viol())]).split(':').next(),
+            Some("violated")
+        );
+        assert_eq!(
+            status_cell(&[Err(crash())]).split(':').next(),
+            Some("error")
+        );
+        let ok_run: Result<RunMetrics, RefsimError> = Err(crash());
+        assert!(speedup_cell(&ok_run, &ok_run).is_nan());
+        assert_eq!(speedup_cell(&Err(viol()), &ok_run), f64::NEG_INFINITY);
     }
 
     #[test]

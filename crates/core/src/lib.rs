@@ -17,6 +17,7 @@ pub mod faults;
 pub mod metrics;
 pub mod replay;
 pub mod report;
+pub mod sanitize;
 pub mod sweep;
 pub mod system;
 
@@ -28,5 +29,6 @@ pub mod prelude {
     pub use crate::faults::FaultPlan;
     pub use crate::metrics::{gmean, gmean_finite, RunMetrics, TaskMetrics};
     pub use crate::report::Table;
+    pub use crate::sanitize::{AuditLevel, ViolationReport};
     pub use crate::system::System;
 }

@@ -64,21 +64,29 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Formats a float cell with 3 decimals. Non-finite values (the
-    /// sweep-level marker for a failed run) render as `error` so a bad
-    /// row is visible in the table instead of `NaN` arithmetic noise.
+    /// Formats a float cell with 3 decimals. Non-finite values are the
+    /// sweep-level failure markers: `-inf` (a run the invariant
+    /// sanitizer rejected) renders as `violated`, anything else
+    /// non-finite (a crashed run) as `error` — a violated simulation
+    /// *finished*, its numbers just cannot be trusted, and the two
+    /// failure classes must stay distinguishable in a report.
     pub fn fmt_f(v: f64) -> String {
         if v.is_finite() {
             format!("{v:.3}")
+        } else if v == f64::NEG_INFINITY {
+            "violated".to_owned()
         } else {
             "error".to_owned()
         }
     }
 
-    /// Formats a percentage cell with 1 decimal (non-finite → `error`).
+    /// Formats a percentage cell with 1 decimal (non-finite → `error`,
+    /// except `-inf` → `violated`; see [`Table::fmt_f`]).
     pub fn fmt_pct(v: f64) -> String {
         if v.is_finite() {
             format!("{v:.1}%")
+        } else if v == f64::NEG_INFINITY {
+            "violated".to_owned()
         } else {
             "error".to_owned()
         }
@@ -255,6 +263,18 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert_eq!(csv.lines().next(), Some("a,b"));
+    }
+
+    #[test]
+    fn fmt_distinguishes_violated_from_error() {
+        assert_eq!(Table::fmt_f(1.5), "1.500");
+        assert_eq!(Table::fmt_f(f64::NAN), "error");
+        assert_eq!(Table::fmt_f(f64::INFINITY), "error");
+        assert_eq!(Table::fmt_f(f64::NEG_INFINITY), "violated");
+        assert_eq!(Table::fmt_pct(f64::NEG_INFINITY), "violated");
+        assert_eq!(Table::fmt_pct(f64::NAN), "error");
+        assert_eq!(Table::fmt_opt_f(Some(f64::NEG_INFINITY)), "violated");
+        assert_eq!(Table::fmt_opt_f(None), "n/a");
     }
 
     #[test]

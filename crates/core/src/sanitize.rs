@@ -1,0 +1,1797 @@
+//! `simsan` — a runtime invariant sanitizer for the whole simulator.
+//!
+//! The paper's argument rests on invariants the simulator never used to
+//! check at runtime: Algorithm 1's sequential schedule must leave every
+//! bank refresh-free for `(B-1)/B` of `tREFW`, Algorithm 2's partitioned
+//! allocator must never place a page outside a task's
+//! `possible_banks_vector`, and Algorithm 3's `η` bound must prevent
+//! starvation. This module turns those statements (plus DDR protocol
+//! rules and cross-layer accounting identities) into machine-checked
+//! [`Checker`]s that observe a running [`crate::system::System`] through
+//! two hooks:
+//!
+//! * **per-event** — every DRAM command the controller issues and every
+//!   page the allocator hands out ([`Event`]);
+//! * **per-quantum** — a plain-data [`QuantumSample`] snapshotted at
+//!   each scheduler preemption (and once more at the end of the run).
+//!
+//! Checkers never touch live simulator state; they receive owned
+//! samples, which keeps them trivially testable (tests forge samples to
+//! provoke each violation deliberately) and keeps `AuditLevel::Off`
+//! runs bit-identical to un-audited ones.
+//!
+//! Violations are collected into a [`ViolationReport`]; error-severity
+//! findings surface as [`crate::error::RefsimError::InvariantViolation`]
+//! from [`crate::system::System::try_run`] instead of panics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use refsim_dram::controller::TraceCmd;
+use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::time::Ps;
+use refsim_dram::timing::FgrMode;
+
+/// How much runtime auditing a [`crate::system::System`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AuditLevel {
+    /// No sanitizer is constructed; zero overhead, bit-identical runs.
+    #[default]
+    Off,
+    /// Event checks always run; quantum checks run on every 16th
+    /// scheduler quantum.
+    Sampled,
+    /// Every event and every quantum is checked.
+    Full,
+}
+
+/// The architectural layer an invariant belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// DRAM device / controller protocol conformance.
+    Dram,
+    /// OS allocator, partition, and scheduler invariants.
+    Os,
+    /// Cross-layer accounting identities.
+    Cross,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Dram => write!(f, "dram"),
+            Layer::Os => write!(f, "os"),
+            Layer::Cross => write!(f, "xlayer"),
+        }
+    }
+}
+
+/// How bad a violation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but not proof of corruption; reported, never fatal.
+    Warning,
+    /// A broken invariant; fails the run as
+    /// [`crate::error::RefsimError::InvariantViolation`].
+    Error,
+}
+
+/// One broken invariant, with enough context to triage it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the checker that fired (e.g. `dram.trfc_overlap`).
+    pub checker: &'static str,
+    /// Layer the invariant belongs to.
+    pub layer: Layer,
+    /// Whether the finding fails the run.
+    pub severity: Severity,
+    /// Simulation time of the offending observation.
+    pub at: Ps,
+    /// Scheduler quantum during which the checker fired.
+    pub quantum: u64,
+    /// Human-readable evidence (component, counters, addresses).
+    pub evidence: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warn",
+            Severity::Error => "ERROR",
+        };
+        write!(
+            f,
+            "[{sev}] {} ({}) at {} q{}: {}",
+            self.checker, self.layer, self.at, self.quantum, self.evidence
+        )
+    }
+}
+
+/// Collects violations during a run; handed to every checker hook.
+#[derive(Debug, Default)]
+pub struct Sink {
+    detail: Vec<Violation>,
+    total: u64,
+    errors: u64,
+    /// Current scheduler quantum, stamped into emitted violations.
+    pub quantum: u64,
+    /// Current simulation time, stamped when a checker has no better
+    /// event time of its own.
+    pub now: Ps,
+}
+
+/// Cap on retained violation detail; the counters keep exact totals.
+const DETAIL_CAP: usize = 128;
+
+impl Sink {
+    /// Records a violation from `checker` with the given evidence.
+    pub fn emit(
+        &mut self,
+        checker: &'static str,
+        layer: Layer,
+        severity: Severity,
+        at: Ps,
+        evidence: String,
+    ) {
+        self.total += 1;
+        if severity == Severity::Error {
+            self.errors += 1;
+        }
+        if self.detail.len() < DETAIL_CAP {
+            self.detail.push(Violation {
+                checker,
+                layer,
+                severity,
+                at,
+                quantum: self.quantum,
+                evidence,
+            });
+        }
+    }
+
+    fn into_report(self) -> ViolationReport {
+        ViolationReport {
+            violations: self.detail,
+            total: self.total,
+            errors: self.errors,
+        }
+    }
+}
+
+/// Everything the sanitizer found over one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ViolationReport {
+    /// Retained violation detail (first [`DETAIL_CAP`] findings).
+    pub violations: Vec<Violation>,
+    /// Exact count of all findings, including dropped detail.
+    pub total: u64,
+    /// Exact count of error-severity findings.
+    pub errors: u64,
+}
+
+impl ViolationReport {
+    /// True when no error-severity violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0
+    }
+
+    /// Findings grouped by checker name, in first-seen order.
+    pub fn by_checker(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = Vec::new();
+        for v in &self.violations {
+            match out.iter_mut().find(|(n, _)| *n == v.checker) {
+                Some((_, c)) => *c += 1,
+                None => out.push((v.checker, 1)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violation(s), {} error(s)", self.total, self.errors)?;
+        for v in self.violations.iter().take(4) {
+            write!(f, "; {v}")?;
+        }
+        if self.violations.len() > 4 {
+            write!(f, "; …")?;
+        }
+        Ok(())
+    }
+}
+
+/// A single observation delivered to [`Checker::on_event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A DRAM command left a memory controller's command bus.
+    DramCmd {
+        /// Memory channel the command was issued on.
+        channel: u32,
+        /// Issue instant.
+        at: Ps,
+        /// The command itself.
+        cmd: TraceCmd,
+        /// Target rank.
+        rank: u8,
+        /// Target bank within the rank (`u8::MAX` for rank-wide).
+        bank: u8,
+    },
+    /// The bank-aware allocator mapped a physical page for a task.
+    PageAlloc {
+        /// Owning task id.
+        task: u32,
+        /// Bank the frame landed in.
+        bank: u32,
+        /// Bit-mask of the task's permitted banks.
+        permitted: u64,
+        /// Whether the allocator recorded this as a soft-partition
+        /// fallback (spill outside the preferred banks).
+        fell_back: bool,
+        /// Whether the system runs a hard partition (spills forbidden).
+        hard: bool,
+        /// Allocation instant.
+        at: Ps,
+    },
+}
+
+/// Per-execution-context counters sampled each quantum (one entry per
+/// task's [`refsim_cpu::core::ExecContext`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoreSample {
+    /// Core-local time.
+    pub now: Ps,
+    /// Instructions retired so far (cumulative).
+    pub instructions: u64,
+    /// Total memory-stall time so far (cumulative).
+    pub stall_time: Ps,
+    /// LLC misses issued so far (cumulative).
+    pub misses: u64,
+    /// Fills currently outstanding at the memory system.
+    pub outstanding: u64,
+}
+
+/// Per-task scheduler/allocator counters sampled each quantum.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskSample {
+    /// Task id.
+    pub id: u32,
+    /// Whether the task is currently runnable or running.
+    pub runnable: bool,
+    /// Times the task has been scheduled onto a CPU (cumulative).
+    pub schedules: u64,
+    /// Pages the soft partition spilled outside the preferred banks.
+    pub spilled_pages: u64,
+    /// Bytes resident on banks outside `possible_banks`.
+    pub outside_bytes: u64,
+}
+
+/// Per-channel memory-controller counters sampled each quantum.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChannelSample {
+    /// Reads accepted into the read queue (since last stats reset).
+    pub reads_enqueued: u64,
+    /// Writes accepted into the write queue (since last stats reset).
+    pub writes_enqueued: u64,
+    /// Reads completed, including store-forwarded ones.
+    pub reads_completed: u64,
+    /// Writes completed.
+    pub writes_completed: u64,
+    /// Reads served by store-forwarding (never enqueued).
+    pub forwarded_reads: u64,
+    /// Current read-queue depth.
+    pub read_q: u64,
+    /// Current write-queue depth.
+    pub write_q: u64,
+    /// All-bank refreshes issued (since last stats reset).
+    pub refreshes_ab: u64,
+    /// Per-bank refreshes issued (since last stats reset).
+    pub refreshes_pb: u64,
+    /// Worst single-refresh postponement observed.
+    pub postpone_max: Ps,
+    /// Whether the retention oracle is attached to this channel.
+    pub oracle_enabled: bool,
+    /// Retention violations the oracle has charged so far.
+    pub oracle_violations: u64,
+    /// Rows refreshed per flat bank of this channel (monotone; not
+    /// reset by `begin_measure`).
+    pub rows_refreshed: Vec<u64>,
+}
+
+/// Scheduler-wide counters sampled each quantum (never reset).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedSample {
+    /// `pick_next` invocations.
+    pub picks: u64,
+    /// Quanta deliberately placed to dodge a forecast refresh.
+    pub refresh_dodges: u64,
+    /// Refresh-aware picks that fell back to plain fairness.
+    pub eta_fallbacks: u64,
+    /// Task migrations between CPUs.
+    pub migrations: u64,
+}
+
+/// A plain-data snapshot of cross-layer state, taken once per scheduler
+/// quantum and delivered to [`Checker::on_quantum`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuantumSample {
+    /// Simulation time of the snapshot.
+    pub now: Ps,
+    /// Quantum ordinal (count of preemptions so far).
+    pub quantum: u64,
+    /// Scheduler counters.
+    pub sched: SchedSample,
+    /// Per-task counters.
+    pub tasks: Vec<TaskSample>,
+    /// Per-execution-context counters (one per task).
+    pub cores: Vec<CoreSample>,
+    /// Per-channel controller counters.
+    pub chans: Vec<ChannelSample>,
+    /// Read fills in flight between cores and memory controllers.
+    pub inflight_fills: u64,
+    /// Allocator self-audit: `Some(problem)` when the buddy free lists
+    /// are inconsistent (double-free, lost frame, bad split).
+    pub alloc_audit: Option<String>,
+}
+
+/// One pluggable invariant checker.
+///
+/// Implementations keep their own incremental state and report through
+/// the [`Sink`]; both hooks default to no-ops so a checker implements
+/// only the granularity it needs.
+pub trait Checker {
+    /// Stable dotted name, e.g. `os.partition_isolation`.
+    fn name(&self) -> &'static str;
+    /// Layer this checker audits.
+    fn layer(&self) -> Layer;
+    /// Called for every [`Event`] (all audit levels above `Off`).
+    fn on_event(&mut self, _ev: &Event, _sink: &mut Sink) {}
+    /// Called once per sampled scheduler quantum.
+    fn on_quantum(&mut self, _s: &QuantumSample, _sink: &mut Sink) {}
+    /// Called when the system resets its measurement counters
+    /// (`begin_measure`): checkers holding counter baselines must
+    /// re-base at the next sample instead of inferring the reset from
+    /// counter regressions, which sampled audits can miss.
+    fn on_stats_reset(&mut self) {}
+    /// Called once at end of run with the final sample; deadline-style
+    /// checkers flush here.
+    fn finish(&mut self, _s: &QuantumSample, _sink: &mut Sink) {}
+}
+
+/// Static description of the system under audit, used to instantiate
+/// the standard checker catalog with the right thresholds.
+#[derive(Debug, Clone)]
+pub struct AuditScope {
+    /// Refresh policy in force.
+    pub policy: RefreshPolicyKind,
+    /// Scaled retention window `tREFW`.
+    pub trefw: Ps,
+    /// All-bank refresh interval `tREFI` (unscaled JEDEC value).
+    pub trefi_ab: Ps,
+    /// All-bank refresh cycle time `tRFC(ab)`.
+    pub trfc_ab: Ps,
+    /// Per-bank refresh cycle time `tRFC(pb)`.
+    pub trfc_pb: Ps,
+    /// Algorithm 1 slice length (`tREFW / banks` when serialisable).
+    pub slice: Ps,
+    /// Flat banks per channel.
+    pub banks_per_channel: u32,
+    /// Banks per rank.
+    pub banks_per_rank: u32,
+    /// Memory channels.
+    pub channels: u32,
+    /// Rows a bank must refresh for one complete retention sweep.
+    pub rows_per_bank: u64,
+    /// Whether the partition plan is hard (spills forbidden).
+    pub hard_partition: bool,
+    /// `η` bound of the refresh-aware scheduler, when active.
+    pub eta: Option<u32>,
+    /// CPU cores.
+    pub n_cores: u32,
+    /// Tasks in the workload.
+    pub n_tasks: u32,
+}
+
+impl AuditScope {
+    /// Retention slack granted on top of `tREFW` before the
+    /// completeness checker fires: the JEDEC bounded-postponement
+    /// allowance of 9 × `tREFI` (merged with the oracle's slack).
+    pub fn completeness_slack(&self) -> Ps {
+        self.trefi_ab * 9
+    }
+
+    /// The full per-bank completeness window: `tREFW` + slack.
+    pub fn completeness_window(&self) -> Ps {
+        self.trefw + self.completeness_slack()
+    }
+}
+
+/// Instantiates the standard checker catalog for a system described by
+/// `scope`. Policy-specific checkers (sequential contiguity, `η`
+/// starvation, refresh completeness) are included only when they apply.
+pub fn standard_checkers(scope: &AuditScope) -> Vec<Box<dyn Checker>> {
+    let mut v: Vec<Box<dyn Checker>> = Vec::new();
+    if scope.policy != RefreshPolicyKind::NoRefresh {
+        v.push(Box::new(RefreshCompleteness::new(scope)));
+        v.push(Box::new(RefreshDebt::new(scope)));
+        v.push(Box::new(TrfcOverlap::new(scope)));
+    }
+    if scope.policy == RefreshPolicyKind::PerBankSequential {
+        v.push(Box::new(SeqContiguity::new(scope)));
+    }
+    v.push(Box::new(BuddyConsistency::default()));
+    v.push(Box::new(PartitionIsolation::new(scope)));
+    if scope.eta.is_some() {
+        v.push(Box::new(EtaStarvation::new(scope)));
+    }
+    v.push(Box::new(FallbackSanity::default()));
+    v.push(Box::new(RetentionSync::new(scope)));
+    v.push(Box::new(Conservation::default()));
+    v
+}
+
+/// The sanitizer: owns the checker set and the violation sink, and is
+/// driven by [`crate::system::System`].
+pub struct Sanitizer {
+    level: AuditLevel,
+    checkers: Vec<Box<dyn Checker>>,
+    sink: Sink,
+    quanta: u64,
+}
+
+impl fmt::Debug for Sanitizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sanitizer")
+            .field("level", &self.level)
+            .field("checkers", &self.checkers.len())
+            .field("quanta", &self.quanta)
+            .finish()
+    }
+}
+
+impl Sanitizer {
+    /// Builds a sanitizer running `checkers` at the given level.
+    pub fn new(level: AuditLevel, checkers: Vec<Box<dyn Checker>>) -> Self {
+        Sanitizer {
+            level,
+            checkers,
+            sink: Sink::default(),
+            quanta: 0,
+        }
+    }
+
+    /// Builds a sanitizer with the [`standard_checkers`] catalog.
+    pub fn standard(level: AuditLevel, scope: &AuditScope) -> Self {
+        Sanitizer::new(level, standard_checkers(scope))
+    }
+
+    /// Feeds one event through every checker.
+    pub fn on_event(&mut self, ev: &Event) {
+        for c in &mut self.checkers {
+            c.on_event(ev, &mut self.sink);
+        }
+    }
+
+    /// Notifies every checker that measurement counters were reset.
+    pub fn on_stats_reset(&mut self) {
+        for c in &mut self.checkers {
+            c.on_stats_reset();
+        }
+    }
+
+    /// Advances the quantum counter and reports whether this quantum
+    /// should be sampled at the configured level — callers skip building
+    /// the (comparatively expensive) [`QuantumSample`] when it returns
+    /// `false`.
+    pub fn begin_quantum(&mut self) -> bool {
+        self.quanta += 1;
+        match self.level {
+            AuditLevel::Off => false,
+            AuditLevel::Sampled => self.quanta % 16 == 1,
+            AuditLevel::Full => true,
+        }
+    }
+
+    /// Feeds one quantum sample through every checker.
+    pub fn on_quantum(&mut self, s: &QuantumSample) {
+        self.sink.quantum = s.quantum;
+        self.sink.now = s.now;
+        for c in &mut self.checkers {
+            c.on_quantum(s, &mut self.sink);
+        }
+    }
+
+    /// Flushes deadline-style checkers with the final sample and
+    /// returns the completed report.
+    pub fn finish(mut self, s: &QuantumSample) -> ViolationReport {
+        self.sink.quantum = s.quantum;
+        self.sink.now = s.now;
+        for c in &mut self.checkers {
+            c.on_quantum(s, &mut self.sink);
+        }
+        for c in &mut self.checkers {
+            c.finish(s, &mut self.sink);
+        }
+        self.sink.into_report()
+    }
+
+    /// The report as accumulated so far (without finishing).
+    pub fn report_so_far(&self) -> ViolationReport {
+        ViolationReport {
+            violations: self.sink.detail.clone(),
+            total: self.sink.total,
+            errors: self.sink.errors,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DRAM-layer checkers
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankProgress {
+    base_at: Ps,
+    base_rows: u64,
+    seen: bool,
+}
+
+/// Every bank must complete a full retention sweep (refresh all of its
+/// rows) within `tREFW` plus the JEDEC 9 × `tREFI` postponement
+/// allowance. Tracks the monotone `rows_refreshed` counter per bank and
+/// fires (then re-bases, so each stall reports once) when a sweep
+/// deadline passes without enough progress.
+#[derive(Debug)]
+pub struct RefreshCompleteness {
+    window: Ps,
+    rows_per_bank: u64,
+    banks: Vec<BankProgress>,
+    banks_per_channel: u32,
+}
+
+impl RefreshCompleteness {
+    /// Builds the checker for `scope`.
+    pub fn new(scope: &AuditScope) -> Self {
+        RefreshCompleteness {
+            window: scope.completeness_window(),
+            rows_per_bank: scope.rows_per_bank.max(1),
+            banks: vec![
+                BankProgress::default();
+                (scope.channels * scope.banks_per_channel) as usize
+            ],
+            banks_per_channel: scope.banks_per_channel,
+        }
+    }
+}
+
+impl Checker for RefreshCompleteness {
+    fn name(&self) -> &'static str {
+        "dram.refresh_completeness"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dram
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        for (ch, chan) in s.chans.iter().enumerate() {
+            for (b, &rows) in chan.rows_refreshed.iter().enumerate() {
+                let flat = ch * self.banks_per_channel as usize + b;
+                let Some(st) = self.banks.get_mut(flat) else {
+                    continue;
+                };
+                if !st.seen {
+                    *st = BankProgress {
+                        base_at: s.now,
+                        base_rows: rows,
+                        seen: true,
+                    };
+                    continue;
+                }
+                let sweeps = rows.saturating_sub(st.base_rows) / self.rows_per_bank;
+                let deadline = st.base_at + self.window * (sweeps + 1);
+                if s.now > deadline {
+                    sink.emit(
+                        name,
+                        layer,
+                        Severity::Error,
+                        s.now,
+                        format!(
+                            "channel {ch} bank {b}: only {} rows refreshed in {} \
+                             (need {} per {})",
+                            rows - st.base_rows,
+                            s.now - st.base_at,
+                            self.rows_per_bank * (sweeps + 1),
+                            self.window * (sweeps + 1),
+                        ),
+                    );
+                    st.base_at = s.now;
+                    st.base_rows = rows;
+                }
+            }
+        }
+    }
+}
+
+/// The refresh-postponement debt ledger: no single refresh may be
+/// postponed past the JEDEC bound of 9 × `tREFI` (plus a small command
+/// scheduling margin). Latches per channel so each episode reports once.
+#[derive(Debug)]
+pub struct RefreshDebt {
+    limit: Ps,
+    fired: Vec<bool>,
+}
+
+impl RefreshDebt {
+    /// Builds the checker for `scope`.
+    pub fn new(scope: &AuditScope) -> Self {
+        RefreshDebt {
+            limit: scope.trefi_ab * 9 + scope.trfc_ab * 8,
+            fired: vec![false; scope.channels as usize],
+        }
+    }
+}
+
+impl Checker for RefreshDebt {
+    fn name(&self) -> &'static str {
+        "dram.refresh_debt"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dram
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        for (ch, chan) in s.chans.iter().enumerate() {
+            let Some(fired) = self.fired.get_mut(ch) else {
+                continue;
+            };
+            if chan.postpone_max > self.limit && !*fired {
+                *fired = true;
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    s.now,
+                    format!(
+                        "channel {ch}: refresh postponed {} exceeds debt bound {}",
+                        chan.postpone_max, self.limit
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// No command may be issued to a rank (resp. bank) while an all-bank
+/// (resp. per-bank) refresh holds it in its `tRFC` window, and refresh
+/// windows must not overlap each other on the same resource.
+#[derive(Debug)]
+pub struct TrfcOverlap {
+    trfc_ab: Ps,
+    trfc_pb: Ps,
+    banks_per_rank: u32,
+    banks_per_channel: u32,
+    /// Busy-until per (channel, rank).
+    rank_busy: Vec<Ps>,
+    /// Busy-until per (channel, flat bank).
+    bank_busy: Vec<Ps>,
+}
+
+impl TrfcOverlap {
+    /// Builds the checker for `scope`.
+    ///
+    /// FGR modes legally shrink `tRFC` below the 1x value (and Adaptive
+    /// switches modes at runtime), so the checker windows use the
+    /// *shortest* `tRFC` the policy may use — an under-approximation
+    /// that can miss marginal overlaps but never flags a legal command.
+    pub fn new(scope: &AuditScope) -> Self {
+        let ranks = scope.banks_per_channel / scope.banks_per_rank.max(1);
+        let trfc_ab = match scope.policy {
+            RefreshPolicyKind::Fgr(m) => m.scale_trfc(scope.trfc_ab),
+            RefreshPolicyKind::Adaptive => FgrMode::X4.scale_trfc(scope.trfc_ab),
+            _ => scope.trfc_ab,
+        };
+        TrfcOverlap {
+            trfc_ab,
+            trfc_pb: scope.trfc_pb,
+            banks_per_rank: scope.banks_per_rank.max(1),
+            banks_per_channel: scope.banks_per_channel,
+            rank_busy: vec![Ps::ZERO; (scope.channels * ranks) as usize],
+            bank_busy: vec![Ps::ZERO; (scope.channels * scope.banks_per_channel) as usize],
+        }
+    }
+}
+
+impl Checker for TrfcOverlap {
+    fn name(&self) -> &'static str {
+        "dram.trfc_overlap"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dram
+    }
+    fn on_event(&mut self, ev: &Event, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        let Event::DramCmd {
+            channel,
+            at,
+            cmd,
+            rank,
+            bank,
+        } = ev
+        else {
+            return;
+        };
+        let ranks = (self.banks_per_channel / self.banks_per_rank) as usize;
+        let r_idx = *channel as usize * ranks + *rank as usize;
+        let rank_base = *channel as usize * self.banks_per_channel as usize
+            + *rank as usize * self.banks_per_rank as usize;
+        let mut offend = None;
+        if self.rank_busy.get(r_idx).is_some_and(|&end| end > *at) {
+            offend = Some(format!(
+                "{cmd:?} to rank {rank} at {at} inside rank tRFC window (busy until {})",
+                self.rank_busy[r_idx]
+            ));
+        } else if *bank != u8::MAX {
+            let f_idx = rank_base + *bank as usize;
+            if self.bank_busy.get(f_idx).is_some_and(|&end| end > *at) {
+                offend = Some(format!(
+                    "{cmd:?} to bank {bank} of rank {rank} at {at} inside bank tRFC \
+                     window (busy until {})",
+                    self.bank_busy[f_idx]
+                ));
+            }
+        } else if matches!(cmd, TraceCmd::RefAb) {
+            // Rank-wide refresh must also wait out every per-bank window.
+            for b in 0..self.banks_per_rank as usize {
+                if self
+                    .bank_busy
+                    .get(rank_base + b)
+                    .is_some_and(|&end| end > *at)
+                {
+                    offend = Some(format!(
+                        "RefAb to rank {rank} at {at} overlaps bank {b} tRFC window \
+                         (busy until {})",
+                        self.bank_busy[rank_base + b]
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(evidence) = offend {
+            sink.emit(
+                name,
+                layer,
+                Severity::Error,
+                *at,
+                format!("channel {channel}: {evidence}"),
+            );
+        }
+        match cmd {
+            TraceCmd::RefAb => {
+                if let Some(slot) = self.rank_busy.get_mut(r_idx) {
+                    *slot = *at + self.trfc_ab;
+                }
+            }
+            TraceCmd::RefPb => {
+                if let Some(slot) = self.bank_busy.get_mut(rank_base + *bank as usize) {
+                    *slot = *at + self.trfc_pb;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Algorithm 1 contiguity: under the sequential per-bank schedule,
+/// refreshes within a rank must walk the banks in order — consecutive
+/// `REFpb` commands may stay on the same bank (finishing its rows) or
+/// advance to the next bank, never jump.
+#[derive(Debug)]
+pub struct SeqContiguity {
+    banks_per_rank: u32,
+    banks_per_channel: u32,
+    /// Last refreshed bank per (channel, rank).
+    last: Vec<Option<u8>>,
+}
+
+impl SeqContiguity {
+    /// Builds the checker for `scope`.
+    pub fn new(scope: &AuditScope) -> Self {
+        let ranks = scope.banks_per_channel / scope.banks_per_rank.max(1);
+        SeqContiguity {
+            banks_per_rank: scope.banks_per_rank.max(1),
+            banks_per_channel: scope.banks_per_channel,
+            last: vec![None; (scope.channels * ranks) as usize],
+        }
+    }
+}
+
+impl Checker for SeqContiguity {
+    fn name(&self) -> &'static str {
+        "dram.seq_contiguity"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Dram
+    }
+    fn on_event(&mut self, ev: &Event, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        let Event::DramCmd {
+            channel,
+            at,
+            cmd: TraceCmd::RefPb,
+            rank,
+            bank,
+        } = ev
+        else {
+            return;
+        };
+        let ranks = (self.banks_per_channel / self.banks_per_rank) as usize;
+        let Some(slot) = self
+            .last
+            .get_mut(*channel as usize * ranks + *rank as usize)
+        else {
+            return;
+        };
+        if let Some(prev) = *slot {
+            let next = (prev + 1) % self.banks_per_rank as u8;
+            if *bank != prev && *bank != next {
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    *at,
+                    format!(
+                        "channel {channel} rank {rank}: sequential schedule jumped \
+                         from bank {prev} to bank {bank} (expected {prev} or {next})"
+                    ),
+                );
+            }
+        }
+        *slot = Some(*bank);
+    }
+}
+
+// ---------------------------------------------------------------------
+// OS-layer checkers
+// ---------------------------------------------------------------------
+
+/// Surfaces the buddy allocator's structural self-audit (double frees,
+/// lost frames, split/merge inconsistencies) as violations. Identical
+/// consecutive findings are deduplicated so a wedged allocator reports
+/// once per distinct problem.
+#[derive(Debug, Default)]
+pub struct BuddyConsistency {
+    last: Option<String>,
+}
+
+impl Checker for BuddyConsistency {
+    fn name(&self) -> &'static str {
+        "os.buddy_consistency"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Os
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        match (&s.alloc_audit, &self.last) {
+            (Some(msg), Some(prev)) if msg == prev => {}
+            (Some(msg), _) => {
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    s.now,
+                    format!("buddy allocator inconsistent: {msg}"),
+                );
+                self.last = Some(msg.clone());
+            }
+            (None, _) => self.last = None,
+        }
+    }
+}
+
+const PAGE_BYTES: u64 = 4096;
+
+/// Algorithm 2 isolation: a page may land outside a task's permitted
+/// banks only as an explicitly recorded soft-partition spill, and a
+/// hard partition may never spill at all.
+#[derive(Debug)]
+pub struct PartitionIsolation {
+    hard: bool,
+    spill_fired: Vec<bool>,
+}
+
+impl PartitionIsolation {
+    /// Builds the checker for `scope`.
+    pub fn new(scope: &AuditScope) -> Self {
+        PartitionIsolation {
+            hard: scope.hard_partition,
+            spill_fired: vec![false; scope.n_tasks as usize],
+        }
+    }
+}
+
+impl Checker for PartitionIsolation {
+    fn name(&self) -> &'static str {
+        "os.partition_isolation"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Os
+    }
+    fn on_event(&mut self, ev: &Event, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        let Event::PageAlloc {
+            task,
+            bank,
+            permitted,
+            fell_back,
+            hard,
+            at,
+        } = ev
+        else {
+            return;
+        };
+        let allowed = *bank < 64 && (permitted >> bank) & 1 == 1;
+        if !allowed && (*hard || !*fell_back) {
+            sink.emit(
+                name,
+                layer,
+                Severity::Error,
+                *at,
+                format!(
+                    "task {task}: page allocated on bank {bank} outside permitted \
+                     mask {permitted:#x} ({})",
+                    if *hard {
+                        "hard partition"
+                    } else {
+                        "not recorded as a spill"
+                    }
+                ),
+            );
+        }
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        for t in &s.tasks {
+            let fired = self
+                .spill_fired
+                .get_mut(t.id as usize)
+                .map(|f| std::mem::replace(f, true));
+            let already = fired == Some(true);
+            if already {
+                continue;
+            }
+            if self.hard && t.spilled_pages > 0 {
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    s.now,
+                    format!(
+                        "task {}: {} page(s) spilled under a hard partition",
+                        t.id, t.spilled_pages
+                    ),
+                );
+            } else if t.outside_bytes > t.spilled_pages * PAGE_BYTES {
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    s.now,
+                    format!(
+                        "task {}: {} bytes outside partition but only {} spill \
+                         page(s) recorded",
+                        t.id, t.outside_bytes, t.spilled_pages
+                    ),
+                );
+            } else if let Some(f) = self.spill_fired.get_mut(t.id as usize) {
+                // Nothing wrong: release the latch taken above.
+                *f = false;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskWatch {
+    schedules: u64,
+    base_picks: u64,
+    fired: bool,
+}
+
+/// Algorithm 3 starvation bound: a runnable task whose `schedules`
+/// counter stays flat while the scheduler makes far more picks than the
+/// `η`-bounded fallback could ever require is being starved. Reported
+/// as a warning (the bound is conservative, not exact).
+#[derive(Debug)]
+pub struct EtaStarvation {
+    bound: u64,
+    watch: HashMap<u32, TaskWatch>,
+}
+
+impl EtaStarvation {
+    /// Builds the checker for `scope`.
+    pub fn new(scope: &AuditScope) -> Self {
+        let eta = u64::from(scope.eta.unwrap_or(0));
+        // A runnable task must be picked within ~n_tasks picks under
+        // CFS; η best-effort can defer it at most η more rounds. The
+        // ×64 margin keeps this a true-positive-only bound.
+        let bound = (u64::from(scope.n_tasks) + eta + 1) * 64 * u64::from(scope.n_cores.max(1));
+        EtaStarvation {
+            bound,
+            watch: HashMap::new(),
+        }
+    }
+}
+
+impl Checker for EtaStarvation {
+    fn name(&self) -> &'static str {
+        "os.eta_starvation"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Os
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        for t in &s.tasks {
+            if !t.runnable {
+                self.watch.remove(&t.id);
+                continue;
+            }
+            let w = self.watch.entry(t.id).or_insert(TaskWatch {
+                schedules: t.schedules,
+                base_picks: s.sched.picks,
+                fired: false,
+            });
+            if t.schedules != w.schedules {
+                w.schedules = t.schedules;
+                w.base_picks = s.sched.picks;
+                w.fired = false;
+                continue;
+            }
+            let stagnant = s.sched.picks.saturating_sub(w.base_picks);
+            if stagnant > self.bound && !w.fired {
+                w.fired = true;
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Warning,
+                    s.now,
+                    format!(
+                        "task {}: runnable but unscheduled for {stagnant} picks \
+                         (η starvation bound {})",
+                        t.id, self.bound
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scheduler fallback-counter sanity: `η` fallbacks and refresh dodges
+/// can never exceed total picks, and all scheduler counters are
+/// monotone (they are never reset during a run).
+#[derive(Debug, Default)]
+pub struct FallbackSanity {
+    prev: Option<SchedSample>,
+    fired: bool,
+}
+
+impl Checker for FallbackSanity {
+    fn name(&self) -> &'static str {
+        "os.fallback_sanity"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Os
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        if self.fired {
+            return;
+        }
+        let c = s.sched;
+        let mut problem = None;
+        if c.eta_fallbacks > c.picks {
+            problem = Some(format!(
+                "eta_fallbacks {} exceeds picks {}",
+                c.eta_fallbacks, c.picks
+            ));
+        } else if c.refresh_dodges > c.picks {
+            problem = Some(format!(
+                "refresh_dodges {} exceeds picks {}",
+                c.refresh_dodges, c.picks
+            ));
+        } else if let Some(p) = self.prev {
+            if c.picks < p.picks
+                || c.eta_fallbacks < p.eta_fallbacks
+                || c.refresh_dodges < p.refresh_dodges
+                || c.migrations < p.migrations
+            {
+                problem = Some(format!("scheduler counter regressed: {c:?} after {p:?}"));
+            }
+        }
+        if let Some(evidence) = problem {
+            self.fired = true;
+            sink.emit(name, layer, Severity::Error, s.now, evidence);
+        }
+        self.prev = Some(c);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-layer checkers
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ChanSync {
+    seen: bool,
+    prev_viol: u64,
+    rows_sum: u64,
+    last_progress_at: Ps,
+    dead_fired: bool,
+}
+
+/// Cross-checks the memory controller against the retention oracle:
+/// every violation the [`refsim_dram::integrity::RetentionTracker`]
+/// charges is mirrored as a sanitizer finding, and a refresh engine
+/// that stops refreshing rows entirely (e.g. a wedged or fully skipped
+/// policy) is reported even when the oracle is disabled.
+#[derive(Debug)]
+pub struct RetentionSync {
+    window: Ps,
+    refresh_expected: bool,
+    chans: Vec<ChanSync>,
+}
+
+impl RetentionSync {
+    /// Builds the checker for `scope`.
+    pub fn new(scope: &AuditScope) -> Self {
+        RetentionSync {
+            window: scope.completeness_window(),
+            refresh_expected: scope.policy != RefreshPolicyKind::NoRefresh,
+            chans: vec![ChanSync::default(); scope.channels as usize],
+        }
+    }
+}
+
+impl Checker for RetentionSync {
+    fn name(&self) -> &'static str {
+        "xlayer.retention_sync"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cross
+    }
+    fn on_stats_reset(&mut self) {
+        for st in &mut self.chans {
+            st.seen = false;
+        }
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        for (ch, chan) in s.chans.iter().enumerate() {
+            let Some(st) = self.chans.get_mut(ch) else {
+                continue;
+            };
+            let rows_sum: u64 = chan.rows_refreshed.iter().sum();
+            if !st.seen {
+                *st = ChanSync {
+                    seen: true,
+                    prev_viol: chan.oracle_violations,
+                    rows_sum,
+                    last_progress_at: s.now,
+                    dead_fired: false,
+                };
+                continue;
+            }
+            if chan.oracle_enabled {
+                if chan.oracle_violations < st.prev_viol {
+                    // Stats were reset (measurement began); re-base.
+                    st.prev_viol = chan.oracle_violations;
+                } else if chan.oracle_violations > st.prev_viol {
+                    let delta = chan.oracle_violations - st.prev_viol;
+                    st.prev_viol = chan.oracle_violations;
+                    sink.emit(
+                        name,
+                        layer,
+                        Severity::Error,
+                        s.now,
+                        format!(
+                            "channel {ch}: retention oracle charged {delta} new \
+                             violation(s) ({} total)",
+                            chan.oracle_violations
+                        ),
+                    );
+                }
+            }
+            if rows_sum > st.rows_sum {
+                st.rows_sum = rows_sum;
+                st.last_progress_at = s.now;
+                st.dead_fired = false;
+            } else if self.refresh_expected
+                && !st.dead_fired
+                && s.now > st.last_progress_at + self.window
+            {
+                st.dead_fired = true;
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    s.now,
+                    format!(
+                        "channel {ch}: refresh engine refreshed no rows for {} \
+                         (> window {})",
+                        s.now - st.last_progress_at,
+                        self.window
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ChanLedger {
+    seen: bool,
+    carry_r: i128,
+    carry_w: i128,
+    prev_renq: u64,
+    prev_wenq: u64,
+    fired: bool,
+}
+
+/// Stats conservation: at every observation point, queue depth must
+/// equal accepted-minus-completed traffic (store-forwarded reads never
+/// enter the queue), and the system-wide in-flight fill count must
+/// match the sum of per-core outstanding misses.
+#[derive(Debug, Default)]
+pub struct Conservation {
+    chans: Vec<ChanLedger>,
+    inflight_fired: bool,
+    stall_fired: bool,
+}
+
+impl Conservation {
+    fn queued(chan: &ChannelSample) -> (i128, i128) {
+        let qr = i128::from(chan.reads_enqueued)
+            - (i128::from(chan.reads_completed) - i128::from(chan.forwarded_reads));
+        let qw = i128::from(chan.writes_enqueued) - i128::from(chan.writes_completed);
+        (qr, qw)
+    }
+}
+
+impl Checker for Conservation {
+    fn name(&self) -> &'static str {
+        "xlayer.conservation"
+    }
+    fn layer(&self) -> Layer {
+        Layer::Cross
+    }
+    fn on_stats_reset(&mut self) {
+        for st in &mut self.chans {
+            st.seen = false;
+        }
+    }
+    fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+        let (name, layer) = (self.name(), self.layer());
+        if self.chans.len() < s.chans.len() {
+            self.chans.resize(s.chans.len(), ChanLedger::default());
+        }
+        for (ch, chan) in s.chans.iter().enumerate() {
+            let Some(st) = self.chans.get_mut(ch) else {
+                continue;
+            };
+            let (qr, qw) = Conservation::queued(chan);
+            let reset = !st.seen
+                || chan.reads_enqueued < st.prev_renq
+                || chan.writes_enqueued < st.prev_wenq;
+            if reset {
+                // First sample, or begin_measure zeroed the counters
+                // while the queues kept their contents: re-base.
+                st.seen = true;
+                st.carry_r = i128::from(chan.read_q) - qr;
+                st.carry_w = i128::from(chan.write_q) - qw;
+            } else if !st.fired
+                && (i128::from(chan.read_q) != st.carry_r + qr
+                    || i128::from(chan.write_q) != st.carry_w + qw)
+            {
+                st.fired = true;
+                sink.emit(
+                    name,
+                    layer,
+                    Severity::Error,
+                    s.now,
+                    format!(
+                        "channel {ch}: queue depths (r={}, w={}) disagree with \
+                         ledger (enq {}/{}, done {}/{}, fwd {}, carry {}/{})",
+                        chan.read_q,
+                        chan.write_q,
+                        chan.reads_enqueued,
+                        chan.writes_enqueued,
+                        chan.reads_completed,
+                        chan.writes_completed,
+                        chan.forwarded_reads,
+                        st.carry_r,
+                        st.carry_w
+                    ),
+                );
+            }
+            st.prev_renq = chan.reads_enqueued;
+            st.prev_wenq = chan.writes_enqueued;
+        }
+        let outstanding: u64 = s.cores.iter().map(|c| c.outstanding).sum();
+        if s.inflight_fills != outstanding && !self.inflight_fired {
+            self.inflight_fired = true;
+            sink.emit(
+                name,
+                layer,
+                Severity::Error,
+                s.now,
+                format!(
+                    "{} fills in flight but cores report {outstanding} outstanding",
+                    s.inflight_fills
+                ),
+            );
+        }
+        if !self.stall_fired {
+            for (i, c) in s.cores.iter().enumerate() {
+                if c.stall_time > c.now {
+                    self.stall_fired = true;
+                    sink.emit(
+                        name,
+                        layer,
+                        Severity::Error,
+                        s.now,
+                        format!(
+                            "core {i}: stall time {} exceeds core clock {}",
+                            c.stall_time, c.now
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope() -> AuditScope {
+        AuditScope {
+            policy: RefreshPolicyKind::PerBankSequential,
+            trefw: Ps::from_us(100),
+            trefi_ab: Ps::from_us(7),
+            trfc_ab: Ps::from_ns(890),
+            trfc_pb: Ps::from_ns(387),
+            slice: Ps::from_us(100) / 16,
+            banks_per_channel: 16,
+            banks_per_rank: 8,
+            channels: 1,
+            rows_per_bank: 1000,
+            hard_partition: false,
+            eta: Some(4),
+            n_cores: 2,
+            n_tasks: 4,
+        }
+    }
+
+    fn sample(now: Ps) -> QuantumSample {
+        QuantumSample {
+            now,
+            quantum: now.as_us(),
+            chans: vec![ChannelSample {
+                rows_refreshed: vec![0; 16],
+                ..ChannelSample::default()
+            }],
+            ..QuantumSample::default()
+        }
+    }
+
+    fn drive(checker: &mut dyn Checker, samples: &[QuantumSample]) -> ViolationReport {
+        let mut sink = Sink::default();
+        for s in samples {
+            sink.quantum = s.quantum;
+            sink.now = s.now;
+            checker.on_quantum(s, &mut sink);
+        }
+        sink.into_report()
+    }
+
+    fn assert_single(report: &ViolationReport, checker: &'static str, layer: Layer) {
+        assert_eq!(report.total, 1, "expected exactly one violation: {report}");
+        let v = &report.violations[0];
+        assert_eq!(v.checker, checker);
+        assert_eq!(v.layer, layer);
+    }
+
+    #[test]
+    fn completeness_fires_once_for_stalled_bank() {
+        let sc = scope();
+        let mut c = RefreshCompleteness::new(&sc);
+        let window = sc.completeness_window();
+        let s0 = sample(Ps::ZERO);
+        let mut s1 = sample(window + Ps::from_ns(1));
+        for (b, rows) in s1.chans[0].rows_refreshed.iter_mut().enumerate() {
+            *rows = if b == 3 { 0 } else { 1000 };
+        }
+        // A third sample shortly after must NOT re-fire (re-based).
+        let mut s2 = s1.clone();
+        s2.now = s1.now + Ps::from_us(1);
+        let report = drive(&mut c, &[s0, s1, s2]);
+        assert_single(&report, "dram.refresh_completeness", Layer::Dram);
+        assert!(report.violations[0].evidence.contains("bank 3"));
+    }
+
+    #[test]
+    fn completeness_quiet_when_sweeps_complete() {
+        let sc = scope();
+        let mut c = RefreshCompleteness::new(&sc);
+        let s0 = sample(Ps::ZERO);
+        let mut s1 = sample(sc.completeness_window() * 3);
+        for rows in s1.chans[0].rows_refreshed.iter_mut() {
+            *rows = 3000; // three full sweeps in three windows
+        }
+        assert_eq!(drive(&mut c, &[s0, s1]).total, 0);
+    }
+
+    #[test]
+    fn debt_fires_once_and_latches() {
+        let sc = scope();
+        let mut c = RefreshDebt::new(&sc);
+        let mut s = sample(Ps::from_us(50));
+        s.chans[0].postpone_max = sc.trefi_ab * 20;
+        let later = s.clone();
+        let report = drive(&mut c, &[s, later]);
+        assert_single(&report, "dram.refresh_debt", Layer::Dram);
+    }
+
+    #[test]
+    fn trfc_overlap_flags_command_in_refresh_window() {
+        let sc = scope();
+        let mut c = TrfcOverlap::new(&sc);
+        let mut sink = Sink::default();
+        let refresh = Event::DramCmd {
+            channel: 0,
+            at: Ps::from_ns(1000),
+            cmd: TraceCmd::RefPb,
+            rank: 0,
+            bank: 0,
+        };
+        let legal = Event::DramCmd {
+            channel: 0,
+            at: Ps::from_ns(1100),
+            cmd: TraceCmd::Act { row: 7 },
+            rank: 0,
+            bank: 1, // different bank: allowed during REFpb
+        };
+        let illegal = Event::DramCmd {
+            channel: 0,
+            at: Ps::from_ns(1200),
+            cmd: TraceCmd::Rd,
+            rank: 0,
+            bank: 0, // same bank, still inside the 387 ns tRFCpb
+        };
+        c.on_event(&refresh, &mut sink);
+        c.on_event(&legal, &mut sink);
+        c.on_event(&illegal, &mut sink);
+        let report = sink.into_report();
+        assert_single(&report, "dram.trfc_overlap", Layer::Dram);
+        assert!(report.violations[0].evidence.contains("bank 0"));
+    }
+
+    #[test]
+    fn trfc_overlap_flags_overlapping_rank_refreshes() {
+        let sc = scope();
+        let mut c = TrfcOverlap::new(&sc);
+        let mut sink = Sink::default();
+        let first = Event::DramCmd {
+            channel: 0,
+            at: Ps::from_ns(1000),
+            cmd: TraceCmd::RefAb,
+            rank: 1,
+            bank: u8::MAX,
+        };
+        let second = Event::DramCmd {
+            channel: 0,
+            at: Ps::from_ns(1200),
+            cmd: TraceCmd::RefAb,
+            rank: 1,
+            bank: u8::MAX,
+        };
+        c.on_event(&first, &mut sink);
+        c.on_event(&second, &mut sink);
+        assert_single(&sink.into_report(), "dram.trfc_overlap", Layer::Dram);
+    }
+
+    #[test]
+    fn seq_contiguity_flags_bank_jump() {
+        let sc = scope();
+        let mut c = SeqContiguity::new(&sc);
+        let mut sink = Sink::default();
+        for (i, bank) in [0u8, 0, 1, 5].into_iter().enumerate() {
+            c.on_event(
+                &Event::DramCmd {
+                    channel: 0,
+                    at: Ps::from_us(i as u64),
+                    cmd: TraceCmd::RefPb,
+                    rank: 0,
+                    bank,
+                },
+                &mut sink,
+            );
+        }
+        let report = sink.into_report();
+        assert_single(&report, "dram.seq_contiguity", Layer::Dram);
+        assert!(report.violations[0].evidence.contains("bank 1 to bank 5"));
+    }
+
+    #[test]
+    fn buddy_consistency_dedupes_identical_findings() {
+        let mut c = BuddyConsistency::default();
+        let mut s = sample(Ps::from_us(1));
+        s.alloc_audit = Some("frame 42 double-freed".into());
+        let again = s.clone();
+        let report = drive(&mut c, &[s, again]);
+        assert_single(&report, "os.buddy_consistency", Layer::Os);
+        assert!(report.violations[0].evidence.contains("frame 42"));
+    }
+
+    #[test]
+    fn partition_isolation_flags_out_of_mask_alloc() {
+        let sc = scope();
+        let mut c = PartitionIsolation::new(&sc);
+        let mut sink = Sink::default();
+        // Recorded spill under a soft partition: legal.
+        c.on_event(
+            &Event::PageAlloc {
+                task: 1,
+                bank: 9,
+                permitted: 0b111,
+                fell_back: true,
+                hard: false,
+                at: Ps::from_us(1),
+            },
+            &mut sink,
+        );
+        // Unrecorded escape: violation.
+        c.on_event(
+            &Event::PageAlloc {
+                task: 1,
+                bank: 9,
+                permitted: 0b111,
+                fell_back: false,
+                hard: false,
+                at: Ps::from_us(2),
+            },
+            &mut sink,
+        );
+        let report = sink.into_report();
+        assert_single(&report, "os.partition_isolation", Layer::Os);
+        assert!(report.violations[0].evidence.contains("bank 9"));
+    }
+
+    #[test]
+    fn partition_isolation_flags_hard_partition_spill() {
+        let sc = AuditScope {
+            hard_partition: true,
+            ..scope()
+        };
+        let mut c = PartitionIsolation::new(&sc);
+        let mut s = sample(Ps::from_us(3));
+        s.tasks = vec![TaskSample {
+            id: 2,
+            runnable: true,
+            spilled_pages: 1,
+            ..TaskSample::default()
+        }];
+        let again = s.clone();
+        let report = drive(&mut c, &[s, again]);
+        assert_single(&report, "os.partition_isolation", Layer::Os);
+        assert!(report.violations[0].evidence.contains("hard partition"));
+    }
+
+    #[test]
+    fn eta_starvation_warns_on_stagnant_runnable_task() {
+        let sc = scope();
+        let mut c = EtaStarvation::new(&sc);
+        let mut s0 = sample(Ps::from_us(1));
+        s0.tasks = vec![TaskSample {
+            id: 1,
+            runnable: true,
+            schedules: 5,
+            ..TaskSample::default()
+        }];
+        s0.sched.picks = 0;
+        let mut s1 = s0.clone();
+        s1.now = Ps::from_us(2);
+        s1.sched.picks = c.bound + 1;
+        let later = s1.clone();
+        let report = drive(&mut c, &[s0, s1, later]);
+        assert_eq!(report.total, 1, "{report}");
+        assert_eq!(report.errors, 0, "starvation is a warning");
+        assert_eq!(report.violations[0].checker, "os.eta_starvation");
+        assert_eq!(report.violations[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn fallback_sanity_flags_impossible_counters() {
+        let mut c = FallbackSanity::default();
+        let mut s = sample(Ps::from_us(1));
+        s.sched = SchedSample {
+            picks: 5,
+            eta_fallbacks: 10,
+            ..SchedSample::default()
+        };
+        let report = drive(&mut c, &[s]);
+        assert_single(&report, "os.fallback_sanity", Layer::Os);
+    }
+
+    #[test]
+    fn fallback_sanity_flags_counter_regression() {
+        let mut c = FallbackSanity::default();
+        let mut s0 = sample(Ps::from_us(1));
+        s0.sched.picks = 100;
+        let mut s1 = sample(Ps::from_us(2));
+        s1.sched.picks = 50;
+        let report = drive(&mut c, &[s0, s1]);
+        assert_single(&report, "os.fallback_sanity", Layer::Os);
+    }
+
+    #[test]
+    fn retention_sync_mirrors_oracle_violations() {
+        let sc = scope();
+        let mut c = RetentionSync::new(&sc);
+        let mut s0 = sample(Ps::from_us(1));
+        s0.chans[0].oracle_enabled = true;
+        s0.chans[0].rows_refreshed = vec![1; 16];
+        let mut s1 = s0.clone();
+        s1.now = Ps::from_us(2);
+        s1.chans[0].oracle_violations = 2;
+        s1.chans[0].rows_refreshed = vec![2; 16];
+        let report = drive(&mut c, &[s0, s1]);
+        assert_single(&report, "xlayer.retention_sync", Layer::Cross);
+        assert!(report.violations[0].evidence.contains("2 new"));
+    }
+
+    #[test]
+    fn retention_sync_flags_dead_refresh_engine() {
+        let sc = scope();
+        let mut c = RetentionSync::new(&sc);
+        let s0 = sample(Ps::ZERO);
+        let s1 = sample(sc.completeness_window() + Ps::from_ns(1));
+        let report = drive(&mut c, &[s0, s1]);
+        assert_single(&report, "xlayer.retention_sync", Layer::Cross);
+        assert!(report.violations[0].evidence.contains("no rows"));
+    }
+
+    #[test]
+    fn conservation_flags_queue_ledger_mismatch() {
+        let mut c = Conservation::default();
+        let mut s0 = sample(Ps::from_us(1));
+        s0.chans[0].reads_enqueued = 10;
+        s0.chans[0].reads_completed = 4;
+        s0.chans[0].read_q = 6;
+        let mut s1 = s0.clone();
+        s1.now = Ps::from_us(2);
+        s1.chans[0].reads_enqueued = 12;
+        s1.chans[0].reads_completed = 5;
+        s1.chans[0].read_q = 3; // ledger says 7
+        let report = drive(&mut c, &[s0, s1]);
+        assert_single(&report, "xlayer.conservation", Layer::Cross);
+        assert!(report.violations[0].evidence.contains("ledger"));
+    }
+
+    #[test]
+    fn conservation_survives_stats_reset() {
+        let mut c = Conservation::default();
+        let mut s0 = sample(Ps::from_us(1));
+        s0.chans[0].reads_enqueued = 10;
+        s0.chans[0].reads_completed = 4;
+        s0.chans[0].read_q = 6;
+        // begin_measure zeroed counters but the queue kept 6 entries.
+        let mut s1 = sample(Ps::from_us(2));
+        s1.chans[0].read_q = 6;
+        // Normal progress on the re-based ledger.
+        let mut s2 = sample(Ps::from_us(3));
+        s2.chans[0].reads_enqueued = 4;
+        s2.chans[0].reads_completed = 8;
+        s2.chans[0].read_q = 2;
+        assert_eq!(drive(&mut c, &[s0, s1, s2]).total, 0);
+    }
+
+    #[test]
+    fn conservation_flags_inflight_mismatch() {
+        let mut c = Conservation::default();
+        let mut s = sample(Ps::from_us(1));
+        s.inflight_fills = 4;
+        s.cores = vec![CoreSample {
+            outstanding: 1,
+            ..CoreSample::default()
+        }];
+        let report = drive(&mut c, &[s]);
+        assert_single(&report, "xlayer.conservation", Layer::Cross);
+    }
+
+    #[test]
+    fn standard_catalog_matches_policy() {
+        let names = |sc: &AuditScope| -> Vec<&'static str> {
+            standard_checkers(sc).iter().map(|c| c.name()).collect()
+        };
+        let seq = names(&scope());
+        assert!(seq.contains(&"dram.seq_contiguity"));
+        assert!(seq.contains(&"os.eta_starvation"));
+        let none = names(&AuditScope {
+            policy: RefreshPolicyKind::NoRefresh,
+            eta: None,
+            ..scope()
+        });
+        assert!(!none.contains(&"dram.refresh_completeness"));
+        assert!(!none.contains(&"dram.seq_contiguity"));
+        assert!(!none.contains(&"os.eta_starvation"));
+        assert!(none.contains(&"xlayer.conservation"));
+    }
+
+    #[test]
+    fn sampled_level_checks_every_16th_quantum() {
+        struct Tick;
+        impl Checker for Tick {
+            fn name(&self) -> &'static str {
+                "test.tick"
+            }
+            fn layer(&self) -> Layer {
+                Layer::Cross
+            }
+            fn on_quantum(&mut self, s: &QuantumSample, sink: &mut Sink) {
+                sink.emit(
+                    self.name(),
+                    self.layer(),
+                    Severity::Warning,
+                    s.now,
+                    "tick".into(),
+                );
+            }
+        }
+        let mut san = Sanitizer::new(AuditLevel::Sampled, vec![Box::new(Tick)]);
+        for q in 0..32 {
+            if san.begin_quantum() {
+                san.on_quantum(&sample(Ps::from_us(q)));
+            }
+        }
+        // Quanta 1 and 17 are sampled; finish() always delivers one more.
+        let report = san.finish(&sample(Ps::from_us(33)));
+        assert_eq!(report.total, 3);
+        assert!(report.is_clean(), "warnings don't fail the run");
+    }
+
+    #[test]
+    fn report_formats_and_groups() {
+        let mut sink = Sink {
+            quantum: 3,
+            ..Sink::default()
+        };
+        sink.emit(
+            "dram.refresh_debt",
+            Layer::Dram,
+            Severity::Error,
+            Ps::from_us(9),
+            "postponed too long".into(),
+        );
+        sink.emit(
+            "dram.refresh_debt",
+            Layer::Dram,
+            Severity::Warning,
+            Ps::from_us(10),
+            "again".into(),
+        );
+        let report = sink.into_report();
+        assert_eq!(report.total, 2);
+        assert_eq!(report.errors, 1);
+        assert!(!report.is_clean());
+        assert_eq!(report.by_checker(), vec![("dram.refresh_debt", 2)]);
+        let s = report.to_string();
+        assert!(s.contains("dram.refresh_debt"), "{s}");
+        assert!(s.contains("q3"), "{s}");
+    }
+}

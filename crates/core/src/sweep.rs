@@ -272,6 +272,10 @@ fn run_attempt(
         }
     }
     sys.audit_retention();
+    // Invariant violations become a typed per-job error row rather than
+    // a crashed sweep; they are deterministic, so `is_retryable` keeps
+    // them out of the retry loop.
+    sys.finish_audit()?;
     Ok((sys.collect(), resumed))
 }
 

@@ -20,7 +20,7 @@ use refsim_dram::refresh::BusyForecast;
 use refsim_dram::request::{MemRequest, ReqId, ReqKind};
 use refsim_dram::time::Ps;
 use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
-use refsim_os::partition::{plan, PartitionInput};
+use refsim_os::partition::{plan, PartitionInput, PartitionPlan};
 use refsim_os::sched::{SchedPolicy, Scheduler};
 use refsim_os::task::{Task as OsTask, TaskId, TaskState};
 use refsim_workloads::mix::WorkloadMix;
@@ -34,6 +34,10 @@ use crate::checkpoint::{
 use crate::config::SystemConfig;
 use crate::error::{RefsimError, SystemSnapshot};
 use crate::metrics::{RunMetrics, TaskMetrics};
+use crate::sanitize::{
+    AuditLevel, AuditScope, ChannelSample, CoreSample, Event, QuantumSample, Sanitizer,
+    SchedSample, TaskSample, ViolationReport,
+};
 
 /// Simulation step granularity: bounds cross-core skew at the memory
 /// controller. 250 ns ≈ 200 DRAM clocks ≪ the scheduling quantum.
@@ -133,6 +137,41 @@ pub struct System {
     base: Vec<TaskSnapshot>,
     sched_base_stats: refsim_os::sched::SchedStats,
     measure_start: Ps,
+    /// Runtime invariant sanitizer (`simsan`); present only when
+    /// `cfg.audit != Off`. Not part of the checkpointed state — a
+    /// restored system restarts its audit from the restore point.
+    san: Option<Box<Sanitizer>>,
+    /// Scheduler preemptions observed so far (audit quantum ordinal).
+    quanta: u64,
+    /// Report from a completed audit (see [`System::finish_audit`]).
+    last_report: Option<ViolationReport>,
+}
+
+/// Builds the [`AuditScope`] describing `cfg` for the standard checker
+/// catalog.
+fn audit_scope(cfg: &SystemConfig, n_tasks: u32) -> AuditScope {
+    let geometry = cfg.geometry();
+    let rt = cfg.refresh_timing();
+    let eta = match cfg.sched_policy {
+        SchedPolicy::RefreshAware { eta_thresh, .. } => Some(eta_thresh),
+        SchedPolicy::Cfs => None,
+    };
+    AuditScope {
+        policy: cfg.refresh_policy,
+        trefw: rt.trefw,
+        trefi_ab: rt.trefi_ab,
+        trfc_ab: rt.trfc_ab,
+        trfc_pb: rt.trfc_pb,
+        slice: rt.sequential_slice(geometry.total_banks(), geometry.banks_per_rank),
+        banks_per_channel: geometry.banks_per_channel(),
+        banks_per_rank: geometry.banks_per_rank,
+        channels: cfg.channels,
+        rows_per_bank: u64::from(rt.rows_per_bank),
+        hard_partition: matches!(cfg.partition, PartitionPlan::Hard),
+        eta,
+        n_cores: cfg.n_cores,
+        n_tasks,
+    }
 }
 
 impl System {
@@ -216,7 +255,15 @@ impl System {
             })
             .collect();
         let n = mix.len();
-        Ok(System {
+        let san = if cfg.audit == AuditLevel::Off {
+            None
+        } else {
+            Some(Box::new(Sanitizer::standard(
+                cfg.audit,
+                &audit_scope(&cfg, n as u32),
+            )))
+        };
+        let mut sys = System {
             cfg,
             clock: Ps::ZERO,
             mcs,
@@ -230,7 +277,17 @@ impl System {
             base: vec![TaskSnapshot::default(); n],
             sched_base_stats: Default::default(),
             measure_start: Ps::ZERO,
-        })
+            san,
+            quanta: 0,
+            last_report: None,
+        };
+        if sys.san.is_some() {
+            // Checkers consume the controller command trace as events.
+            for mc in &mut sys.mcs {
+                mc.enable_trace();
+            }
+        }
+        Ok(sys)
     }
 
     /// The configuration in effect.
@@ -287,7 +344,36 @@ impl System {
         self.begin_measure();
         self.try_run_until(meas_end)?;
         self.audit_retention();
+        self.finish_audit()?;
         Ok(self.collect())
+    }
+
+    /// Completes the invariant audit: delivers a final quantum sample to
+    /// every checker, stores the [`ViolationReport`] (see
+    /// [`System::violation_report`]), and fails with
+    /// [`RefsimError::InvariantViolation`] when any error-severity
+    /// violation was found. A no-op when auditing is off or the audit
+    /// already finished. Call after [`System::audit_retention`] so
+    /// end-of-run oracle findings are mirrored into the report.
+    pub fn finish_audit(&mut self) -> Result<(), RefsimError> {
+        let Some(san) = self.san.take() else {
+            return Ok(());
+        };
+        self.quanta += 1;
+        let sample = self.quantum_sample();
+        let report = san.finish(&sample);
+        self.last_report = Some(report.clone());
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(RefsimError::InvariantViolation(Box::new(report)))
+        }
+    }
+
+    /// The completed audit report, if [`System::finish_audit`] has run
+    /// (present for both clean and violating runs).
+    pub fn violation_report(&self) -> Option<&ViolationReport> {
+        self.last_report.as_ref()
     }
 
     /// Runs the end-of-run retention audit on every memory controller at
@@ -340,9 +426,12 @@ impl System {
                     snapshot: Box::new(self.snapshot()),
                 });
             }
-            // 1. Scheduling decisions at the current instant.
+            // 1. Scheduling decisions at the current instant. Each real
+            //    preemption closes an audit quantum.
             for c in 0..self.cores.len() {
-                self.maybe_switch(c);
+                if self.maybe_switch(c) {
+                    self.audit_quantum();
+                }
             }
             // 2. Choose the step boundary: never skip past a quantum end.
             let mut step_end = (self.clock + STEP).min(t_end);
@@ -366,6 +455,20 @@ impl System {
                             done.id,
                             done.at,
                         );
+                    }
+                }
+            }
+            // 5. The sanitizer consumes this step's DRAM command trace.
+            if let Some(san) = self.san.as_mut() {
+                for (ch, mc) in self.mcs.iter_mut().enumerate() {
+                    for e in mc.take_trace() {
+                        san.on_event(&Event::DramCmd {
+                            channel: ch as u32,
+                            at: e.at,
+                            cmd: e.cmd,
+                            rank: e.rank,
+                            bank: e.bank,
+                        });
                     }
                 }
             }
@@ -600,6 +703,20 @@ impl System {
         self.clock = s.clock;
         self.next_req = s.next_req;
         self.measure_start = s.measure_start;
+        // The sanitizer is deliberately not checkpointed: a restored
+        // machine restarts auditing from the restore point with fresh
+        // checker state (deadline baselines re-anchor on first sample).
+        if self.san.is_some() {
+            self.san = Some(Box::new(Sanitizer::standard(
+                self.cfg.audit,
+                &audit_scope(&self.cfg, self.os_tasks.len() as u32),
+            )));
+            self.quanta = 0;
+            self.last_report = None;
+            for mc in &mut self.mcs {
+                mc.enable_trace();
+            }
+        }
         Ok(())
     }
 
@@ -658,6 +775,11 @@ impl System {
         }
         for core in &mut self.cores {
             core.caches.reset_stats();
+        }
+        // Counter-baseline checkers must re-base: a sampled audit may
+        // never observe the reset as a counter regression.
+        if let Some(san) = self.san.as_mut() {
+            san.on_stats_reset();
         }
         self.sched_base_stats = *self.sched.stats();
         self.measure_start = self.clock;
@@ -730,21 +852,26 @@ impl System {
         }
     }
 
-    fn maybe_switch(&mut self, c: usize) {
+    /// Runs a scheduling decision on core `c`; returns whether a running
+    /// task was actually preempted (i.e. an audit quantum closed — idle
+    /// cores "expire" every step and must not count).
+    fn maybe_switch(&mut self, c: usize) -> bool {
         let t_now = self.clock;
         let expired = match self.cores[c].current {
             Some(_) => t_now >= self.cores[c].quantum_end,
             None => true,
         };
         if !expired {
-            return;
+            return false;
         }
         // Preempt the incumbent.
+        let mut preempted = false;
         let switch_at = if let Some(cur) = self.cores[c].current.take() {
             let ctx_now = self.sims[cur as usize].ctx.now();
             let preempt_t = ctx_now.max(self.cores[c].quantum_end);
             let ran = preempt_t.saturating_sub(self.cores[c].sched_base);
             self.sched.requeue(&mut self.os_tasks[cur as usize], ran);
+            preempted = true;
             preempt_t.max(t_now)
         } else {
             t_now
@@ -772,6 +899,104 @@ impl System {
             let core = &mut self.cores[c];
             core.current = None;
             core.quantum_end = t_now; // retry next step
+        }
+        preempted
+    }
+
+    // ---- invariant audit ------------------------------------------------
+
+    /// Closes one audit quantum: builds a cross-layer sample and feeds
+    /// it through the sanitizer (a no-op when auditing is off or the
+    /// sampling stride skips this quantum).
+    fn audit_quantum(&mut self) {
+        let Some(mut san) = self.san.take() else {
+            return;
+        };
+        self.quanta += 1;
+        if san.begin_quantum() {
+            let sample = self.quantum_sample();
+            san.on_quantum(&sample);
+        }
+        self.san = Some(san);
+    }
+
+    /// Snapshots scheduler, task, execution-context, and controller
+    /// state into an owned [`QuantumSample`] for the checkers.
+    fn quantum_sample(&self) -> QuantumSample {
+        let st = self.sched.stats();
+        let sched = SchedSample {
+            picks: st.picks,
+            refresh_dodges: st.refresh_dodges,
+            eta_fallbacks: st.eta_fallbacks,
+            migrations: st.migrations,
+        };
+        let tasks = self
+            .os_tasks
+            .iter()
+            .map(|t| TaskSample {
+                id: t.id.0,
+                runnable: matches!(t.state, TaskState::Runnable | TaskState::Running),
+                schedules: t.schedules,
+                spilled_pages: t.spilled_pages,
+                outside_bytes: t
+                    .bytes_per_bank
+                    .iter()
+                    .enumerate()
+                    .filter(|&(b, _)| !t.possible_banks.contains(b as u32))
+                    .map(|(_, &bytes)| bytes)
+                    .sum(),
+            })
+            .collect();
+        let cores = self
+            .sims
+            .iter()
+            .map(|s| {
+                let p = s.ctx.probe();
+                CoreSample {
+                    now: p.now,
+                    instructions: p.instructions,
+                    stall_time: p.stall_time,
+                    misses: p.misses,
+                    outstanding: p.outstanding,
+                }
+            })
+            .collect();
+        let chans = self
+            .mcs
+            .iter()
+            .map(|mc| {
+                let cs = mc.stats();
+                let (rq, wq) = mc.queue_depths();
+                ChannelSample {
+                    reads_enqueued: cs.reads_enqueued,
+                    writes_enqueued: cs.writes_enqueued,
+                    reads_completed: cs.reads_completed,
+                    writes_completed: cs.writes_completed,
+                    forwarded_reads: cs.forwarded_reads,
+                    read_q: rq as u64,
+                    write_q: wq as u64,
+                    refreshes_ab: cs.refreshes_ab,
+                    refreshes_pb: cs.refreshes_pb,
+                    postpone_max: cs.refresh_postpone_max,
+                    oracle_enabled: mc.integrity().is_some(),
+                    oracle_violations: cs.retention_violations,
+                    rows_refreshed: mc
+                        .bank_report()
+                        .iter()
+                        .map(|&(_, _, rows, _)| rows)
+                        .collect(),
+                }
+            })
+            .collect();
+        QuantumSample {
+            now: self.clock,
+            quantum: self.quanta,
+            sched,
+            tasks,
+            cores,
+            chans,
+            inflight_fills: self.inflight.len() as u64,
+            alloc_audit: self.alloc.audit(),
         }
     }
 
@@ -842,6 +1067,17 @@ impl System {
             })?;
         t.mm.map(vaddr, page.frame);
         t.note_page(page.bank, page.fell_back);
+        let permitted = t.possible_banks.bits();
+        if let Some(san) = self.san.as_mut() {
+            san.on_event(&Event::PageAlloc {
+                task: cur as u32,
+                bank: page.bank,
+                permitted,
+                fell_back: page.fell_back,
+                hard: matches!(self.cfg.partition, PartitionPlan::Hard),
+                at: self.clock,
+            });
+        }
         let sim = &mut self.sims[cur];
         let now = sim.ctx.now();
         sim.ctx.set_now(now + self.cfg.fault_cost);
@@ -917,6 +1153,7 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use refsim_dram::refresh::RefreshPolicyKind;
     use refsim_workloads::mix::{by_name, WorkloadMix};
     use refsim_workloads::profiles::Benchmark;
@@ -1117,7 +1354,6 @@ mod tests {
 
     #[test]
     fn config_fault_plan_reaches_the_controller() {
-        use crate::faults::FaultPlan;
         let mut plan = FaultPlan::none(11);
         plan.delay_ppm = 300_000;
         plan.max_delay = Ps::from_us(2);
@@ -1259,5 +1495,156 @@ mod tests {
         let mut target = System::new(cfg, &solo);
         let err = target.import_state(&state).unwrap_err();
         assert!(err.contains("task count"), "{err}");
+    }
+
+    // ---- simsan: clean runs are quiet, injected faults are caught ----
+
+    /// Acceptance: a clean default-config run of every refresh policy
+    /// under full audit finishes `Ok` with zero violations.
+    #[test]
+    fn clean_full_audit_runs_are_quiet_for_every_policy() {
+        use refsim_dram::timing::FgrMode;
+        let policies = [
+            RefreshPolicyKind::NoRefresh,
+            RefreshPolicyKind::AllBank,
+            RefreshPolicyKind::PerBankRoundRobin,
+            RefreshPolicyKind::PerBankSequential,
+            RefreshPolicyKind::OooPerBank,
+            RefreshPolicyKind::Fgr(FgrMode::X2),
+            RefreshPolicyKind::Adaptive,
+            RefreshPolicyKind::Elastic,
+        ];
+        for policy in policies {
+            let cfg = quick(SystemConfig::table1())
+                .with_refresh(policy)
+                .with_audit(AuditLevel::Full);
+            let mut sys = System::new(cfg, &small_mix());
+            let m = sys.try_run().unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+            assert!(m.controller.reads_completed > 0, "{policy:?} did no work");
+            let report = sys.violation_report().expect("audited run has a report");
+            assert!(
+                report.is_clean() && report.total == 0,
+                "{policy:?} clean run flagged: {report}"
+            );
+        }
+    }
+
+    /// The co-design config (partitioning + refresh-aware scheduling)
+    /// must also audit clean — it exercises the OS checkers the
+    /// baseline config leaves mostly idle.
+    #[test]
+    fn clean_co_design_full_audit_is_quiet() {
+        let cfg = quick(SystemConfig::table1())
+            .co_design()
+            .with_audit(AuditLevel::Full);
+        let mut sys = System::new(cfg, &small_mix());
+        sys.try_run().expect("clean co-design run");
+        let report = sys.violation_report().expect("report");
+        assert!(report.total == 0, "co-design clean run flagged: {report}");
+    }
+
+    /// Negative control, skip class: silently dropped refresh commands
+    /// must be caught (retention-oracle mirror and/or completeness).
+    #[test]
+    fn skip_faults_trip_the_sanitizer() {
+        let mut cfg = quick(SystemConfig::table1())
+            .with_retention_tracking()
+            .with_audit(AuditLevel::Full);
+        // The oracle threshold is tREFW + 9·tREFI; the run must outlive
+        // it for spans starved by skipped refreshes to turn stale.
+        cfg.measure = cfg.trefw() * 2;
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 7,
+            skip_ppm: 900_000,
+            delay_ppm: 0,
+            max_delay: Ps::ZERO,
+            weak_rows: 0,
+            weak_limit: Ps::ZERO,
+            horizon: 1_000_000,
+        });
+        let mut sys = System::new(cfg, &small_mix());
+        let err = sys.try_run().expect_err("skipped refreshes must be caught");
+        let RefsimError::InvariantViolation(report) = err else {
+            panic!("expected InvariantViolation, got {err}");
+        };
+        assert!(
+            report.violations.iter().any(|v| {
+                v.checker == "xlayer.retention_sync" || v.checker == "dram.refresh_completeness"
+            }),
+            "skip faults caught by the wrong checkers: {report}"
+        );
+    }
+
+    /// Negative control, delay class: refreshes postponed far past the
+    /// JEDEC debt bound must trip the debt ledger.
+    #[test]
+    fn delay_faults_trip_the_debt_checker() {
+        let mut cfg = quick(SystemConfig::table1()).with_audit(AuditLevel::Full);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 11,
+            skip_ppm: 0,
+            delay_ppm: 1_000_000,
+            max_delay: cfg.trefw(),
+            weak_rows: 0,
+            weak_limit: Ps::ZERO,
+            horizon: 1_000_000,
+        });
+        let mut sys = System::new(cfg, &small_mix());
+        let err = sys.try_run().expect_err("delayed refreshes must be caught");
+        let RefsimError::InvariantViolation(report) = err else {
+            panic!("expected InvariantViolation, got {err}");
+        };
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.checker == "dram.refresh_debt"),
+            "delay faults missed by the debt ledger: {report}"
+        );
+    }
+
+    /// Negative control, weak-row class: planted weak rows violate the
+    /// oracle, and the sanitizer mirrors those findings.
+    #[test]
+    fn weak_row_faults_trip_retention_sync() {
+        let mut cfg = quick(SystemConfig::table1())
+            .with_retention_tracking()
+            .with_audit(AuditLevel::Full);
+        cfg.fault_plan = Some(FaultPlan {
+            seed: 13,
+            skip_ppm: 0,
+            delay_ppm: 0,
+            max_delay: Ps::ZERO,
+            weak_rows: 64,
+            weak_limit: cfg.trefw() / 8,
+            horizon: 0,
+        });
+        let mut sys = System::new(cfg, &small_mix());
+        let err = sys.try_run().expect_err("weak rows must be caught");
+        let RefsimError::InvariantViolation(report) = err else {
+            panic!("expected InvariantViolation, got {err}");
+        };
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.checker == "xlayer.retention_sync"),
+            "weak rows missed by retention sync: {report}"
+        );
+    }
+
+    /// `AuditLevel::Off` (the default) leaves metrics bit-identical to
+    /// a fully audited run — the sanitizer observes, never perturbs.
+    #[test]
+    fn audit_level_does_not_perturb_the_simulation() {
+        let run = |level: AuditLevel| {
+            let cfg = quick(SystemConfig::table1()).with_audit(level);
+            let mut sys = System::new(cfg, &small_mix());
+            let m = sys.try_run().expect("clean run");
+            format!("{:?} {:?}", m.tasks, m.controller)
+        };
+        let off = run(AuditLevel::Off);
+        assert_eq!(off, run(AuditLevel::Sampled));
+        assert_eq!(off, run(AuditLevel::Full));
     }
 }

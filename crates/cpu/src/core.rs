@@ -88,6 +88,22 @@ struct Outstanding {
     is_load: bool,
 }
 
+/// A consistent point-in-time snapshot of an [`ExecContext`]'s
+/// observable counters (see [`ExecContext::probe`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreProbe {
+    /// Core-local current time.
+    pub now: Ps,
+    /// Instructions issued so far.
+    pub instructions: u64,
+    /// Total time spent stalled on memory.
+    pub stall_time: Ps,
+    /// LLC misses issued.
+    pub misses: u64,
+    /// In-flight misses right now.
+    pub outstanding: u64,
+}
+
 /// Why the context cannot issue further instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallReason {
@@ -223,6 +239,19 @@ impl ExecContext {
     /// Number of in-flight misses.
     pub fn outstanding_count(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// One-call snapshot of the context's observable counters, for
+    /// auditors that sample every core each quantum and need a
+    /// consistent view without four separate accessor calls.
+    pub fn probe(&self) -> CoreProbe {
+        CoreProbe {
+            now: self.now,
+            instructions: self.issued,
+            stall_time: self.stall_time,
+            misses: self.misses,
+            outstanding: self.outstanding.len() as u64,
+        }
     }
 
     /// Advances through `n` non-memory instructions.

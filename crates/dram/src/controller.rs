@@ -611,6 +611,9 @@ impl MemoryController {
     ///   actions inside the window than the command bus could physically
     ///   issue — forward progress has stopped. Both errors carry a
     ///   [`ControllerSnapshot`] for post-hoc diagnosis.
+    /// - [`DramError::BrokenInvariant`] if an internal consistency
+    ///   condition fails while executing an action (refresh machinery or
+    ///   retention-oracle bookkeeping).
     pub fn try_advance_to(&mut self, target: Ps) -> Result<(), DramError> {
         if target < self.cursor {
             return Err(DramError::TimeRegression {
@@ -640,7 +643,7 @@ impl MemoryController {
                         });
                     }
                     self.cursor = at;
-                    self.execute(action, at);
+                    self.execute(action, at)?;
                 }
                 _ => break,
             }
@@ -927,11 +930,17 @@ impl MemoryController {
                 match self.banks[f].phase() {
                     BankPhase::Active => {
                         all_idle = false;
-                        let t = self.align(self.banks[f].earliest_pre().expect("active"));
-                        consider(
-                            Some((t.max(earliest), 0, Action::PreForRefresh { flat: f })),
-                            &mut best,
-                        );
+                        // Active banks always report an earliest-PRE
+                        // instant; a None here would mean the phase
+                        // machine desynchronized — skip the bank and let
+                        // the livelock watchdog surface the stall.
+                        if let Some(pre) = self.banks[f].earliest_pre() {
+                            let t = self.align(pre);
+                            consider(
+                                Some((t.max(earliest), 0, Action::PreForRefresh { flat: f })),
+                                &mut best,
+                            );
+                        }
                         // Only plan one PRE at a time (command bus serializes
                         // anyway); the earliest is picked by `consider`.
                     }
@@ -940,7 +949,9 @@ impl MemoryController {
                         ready = ready.max(self.banks[f].refresh_end());
                     }
                     BankPhase::Idle => {
-                        ready = ready.max(self.banks[f].earliest_refresh().expect("idle"));
+                        if let Some(r) = self.banks[f].earliest_refresh() {
+                            ready = ready.max(r);
+                        }
                     }
                 }
             }
@@ -976,7 +987,9 @@ impl MemoryController {
             let arr = e.req.arrival;
             // Row hit → CAS (priority 1: first-ready-FCFS).
             if bank.phase() == BankPhase::Active && bank.is_row_hit(e.req.loc.row) {
-                let cas0 = bank.earliest_cas(e.req.loc.row).expect("hit");
+                let Some(cas0) = bank.earliest_cas(e.req.loc.row) else {
+                    continue; // phase/row-hit disagree: skip, don't abort
+                };
                 let rank_ready = if is_write {
                     rk.earliest_wr()
                 } else {
@@ -995,7 +1008,10 @@ impl MemoryController {
                 consider(Some((t, 1, Action::Cas { idx, flat })), &mut best);
             } else if bank.phase() == BankPhase::Active {
                 // Row conflict → PRE (priority 2, FCFS order by queue pos).
-                let t = self.align(bank.earliest_pre().expect("active").max(arr));
+                let Some(pre) = bank.earliest_pre() else {
+                    continue;
+                };
+                let t = self.align(pre.max(arr));
                 consider(Some((t, 2, Action::Pre { idx, flat })), &mut best);
             } else {
                 // Idle or refreshing → ACT when possible.
@@ -1011,17 +1027,24 @@ impl MemoryController {
         best.map(|(t, _, a)| (t, a))
     }
 
-    fn execute(&mut self, action: Action, at: Ps) {
+    fn execute(&mut self, action: Action, at: Ps) -> Result<(), DramError> {
         match action {
             Action::SelectRefresh => {
                 let snap = self.snapshot();
                 // Elastic-style policies may defer the refresh into a
                 // quieter moment (bounded internally); re-plan if so.
                 if self.policy.try_postpone(&snap, at) {
-                    return;
+                    return Ok(());
                 }
                 let op = self.policy.select(&snap);
-                let due = self.policy.next_due().expect("due refresh");
+                let Some(due) = self.policy.next_due() else {
+                    return Err(DramError::BrokenInvariant {
+                        what: format!(
+                            "SelectRefresh executed at {at} but the policy \
+                             reports no due refresh"
+                        ),
+                    });
+                };
                 let injected_delay = self.faults.delay_for(self.refresh_seq);
                 if injected_delay > Ps::ZERO {
                     self.stats.injected_delay_faults += 1;
@@ -1039,7 +1062,11 @@ impl MemoryController {
                 self.bump_cmd_bus(at);
             }
             Action::IssueRefresh => {
-                let p = self.pending_refresh.take().expect("pending refresh");
+                let Some(p) = self.pending_refresh.take() else {
+                    return Err(DramError::BrokenInvariant {
+                        what: format!("IssueRefresh executed at {at} with no pending refresh"),
+                    });
+                };
                 let seq = self.refresh_seq;
                 self.refresh_seq += 1;
                 if self.faults.skips(seq) {
@@ -1050,7 +1077,7 @@ impl MemoryController {
                     // data-loss scenario the tracker must expose.
                     self.stats.injected_skip_faults += 1;
                     self.policy.issued(&p.op, at);
-                    return;
+                    return Ok(());
                 }
                 let dur = self.policy.duration(&p.op);
                 let (lo, hi) = self.refresh_scope(&p.op);
@@ -1063,7 +1090,7 @@ impl MemoryController {
                 }
                 if let Some(t) = &mut self.integrity {
                     for f in lo..hi {
-                        t.on_refresh(f as u32, rows, at);
+                        t.on_refresh(f as u32, rows, at)?;
                     }
                     self.stats.retention_violations = t.total_violations();
                 }
@@ -1180,6 +1207,7 @@ impl MemoryController {
                 self.bump_cmd_bus(at);
             }
         }
+        Ok(())
     }
 
     fn bump_cmd_bus(&mut self, at: Ps) {

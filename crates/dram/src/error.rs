@@ -68,6 +68,14 @@ pub enum DramError {
         /// Machine state at the failure.
         snapshot: Box<ControllerSnapshot>,
     },
+    /// An internal consistency condition the scheduler relies on did
+    /// not hold — e.g. a refresh issuing with nothing pending, or the
+    /// retention oracle's span ring running dry. The machine state can
+    /// no longer be trusted, so the run must be abandoned, not retried.
+    BrokenInvariant {
+        /// Human-readable description of the violated condition.
+        what: String,
+    },
     /// The command scheduler stopped making forward progress: more
     /// actions executed inside one `advance_to` window than the command
     /// bus could physically issue.
@@ -94,6 +102,9 @@ impl fmt::Display for DramError {
                 f,
                 "time went backwards: advance_to({target}) while cursor={cursor} [{snapshot}]"
             ),
+            DramError::BrokenInvariant { what } => {
+                write!(f, "broken controller invariant: {what}")
+            }
             DramError::Livelock {
                 from,
                 to,

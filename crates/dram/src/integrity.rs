@@ -29,6 +29,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::DramError;
 use crate::time::Ps;
 
 /// How many violations keep their full detail; beyond this only the
@@ -159,8 +160,8 @@ impl RefreshFaults {
 /// let cfg = IntegrityConfig { limit: Ps::from_us(64), slack: Ps::from_us(1) };
 /// let mut t = RetentionTracker::new(2, 128, cfg);
 /// // Bank 0 fully swept at 10us, and again within the window at 70us.
-/// t.on_refresh(0, 128, Ps::from_us(10));
-/// t.on_refresh(0, 128, Ps::from_us(70));
+/// t.on_refresh(0, 128, Ps::from_us(10)).unwrap();
+/// t.on_refresh(0, 128, Ps::from_us(70)).unwrap();
 /// assert_eq!(t.total_violations(), 0);
 /// // Bank 1 never refreshed: stale at end of a 80us run.
 /// t.finalize(Ps::from_us(80));
@@ -215,19 +216,33 @@ impl RetentionTracker {
     /// Records a refresh command covering the next `rows` rows of
     /// `flat_bank`'s sweep, checking the re-refresh interval of every
     /// span it covers.
-    pub fn on_refresh(&mut self, flat_bank: u32, rows: u32, at: Ps) {
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::BrokenInvariant`] if the oracle's span ring runs
+    /// dry mid-sweep — its spans always tile the bank exactly, so an
+    /// empty ring means the bookkeeping itself is corrupt and every
+    /// subsequent verdict would be meaningless.
+    pub fn on_refresh(&mut self, flat_bank: u32, rows: u32, at: Ps) -> Result<(), DramError> {
         let threshold = self.cfg.threshold();
         let limit = self.cfg.limit;
         let bank = &mut self.banks[flat_bank as usize];
         let n = rows.min(self.rows_per_bank);
         if n == 0 {
-            return;
+            return Ok(());
         }
         let start = bank.cursor;
         let mut remaining = n;
         let mut late: Option<(u32, u32, Ps)> = None; // coalesced per command
         while remaining > 0 {
-            let span = bank.spans.front_mut().expect("span ring never empty");
+            let Some(span) = bank.spans.front_mut() else {
+                return Err(DramError::BrokenInvariant {
+                    what: format!(
+                        "retention oracle span ring for bank {flat_bank} ran dry with \
+                         {remaining} rows uncovered at {at}"
+                    ),
+                });
+            };
             let covered = (span.end - span.start).min(remaining);
             let interval = at.saturating_sub(span.at);
             if interval > threshold {
@@ -303,6 +318,7 @@ impl RetentionTracker {
         for v in weak_hits {
             self.record(v);
         }
+        Ok(())
     }
 
     /// End-of-run audit: any span (or weak row) older than its threshold
@@ -466,7 +482,7 @@ mod tests {
     fn sweep(t: &mut RetentionTracker, rows_per_bank: u32, cmds: u32, start: Ps, period: Ps) {
         let per = rows_per_bank / cmds;
         for i in 0..cmds {
-            t.on_refresh(0, per, start + period * i as u64);
+            t.on_refresh(0, per, start + period * i as u64).unwrap();
         }
     }
 
@@ -510,7 +526,8 @@ mod tests {
         // span 72us after its last refresh — past the 65us threshold.
         sweep(&mut t, 64, 8, Ps::ZERO, Ps::from_us(8));
         for i in 0..7u64 {
-            t.on_refresh(0, 8, Ps::from_us(64) + Ps::from_us(8) * i);
+            t.on_refresh(0, 8, Ps::from_us(64) + Ps::from_us(8) * i)
+                .unwrap();
         }
         sweep(&mut t, 64, 8, Ps::from_us(128), Ps::from_us(8));
         assert!(!t.is_clean());
@@ -567,7 +584,7 @@ mod tests {
         let mut t = RetentionTracker::new(1, 10, cfg(64, 1));
         // Commands of 4 rows over a 10-row bank force wrap splits.
         for i in 0..25u64 {
-            t.on_refresh(0, 4, Ps::from_us(6 * i));
+            t.on_refresh(0, 4, Ps::from_us(6 * i)).unwrap();
         }
         t.finalize(Ps::from_us(150));
         assert!(t.is_clean(), "{:?}", t.violations());
@@ -592,7 +609,7 @@ mod tests {
         let mut t = RetentionTracker::new(1, 4, cfg(1, 0));
         for i in 0..200u64 {
             // Every command violates (period 10us >> 1us limit).
-            t.on_refresh(0, 4, Ps::from_us(10 * (i + 1)));
+            t.on_refresh(0, 4, Ps::from_us(10 * (i + 1))).unwrap();
         }
         assert_eq!(t.violations().len(), DETAIL_CAP);
         assert_eq!(t.total_violations(), 200);

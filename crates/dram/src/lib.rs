@@ -43,6 +43,7 @@
 //! assert_eq!(forecast, BusyForecast::Bank(BankId::new(0, 0)));
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

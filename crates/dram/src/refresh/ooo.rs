@@ -94,7 +94,18 @@ impl RefreshPolicy for OooPerBank {
                 best = Some((queued, b));
             }
         }
-        let (_, bank) = best.expect("round always has a pending bank");
+        let (_, bank) = match best {
+            Some(hit) => hit,
+            None => {
+                // Self-heal: an empty round means the pending
+                // bookkeeping desynchronized. Restart the round and
+                // refresh bank 0 rather than abort the whole run.
+                debug_assert!(false, "round always has a pending bank");
+                self.pending[r].iter_mut().for_each(|p| *p = true);
+                self.pending_left[r] = self.banks_per_rank;
+                (0, 0)
+            }
+        };
         RefreshOp::PerBank {
             bank: BankId::new(r as u8, bank as u8),
             rows: self.rows_per_cmd,
@@ -102,7 +113,10 @@ impl RefreshPolicy for OooPerBank {
     }
 
     fn issued(&mut self, op: &RefreshOp, _at: Ps) {
-        let bank = op.bank().expect("OOO issues per-bank ops only");
+        let Some(bank) = op.bank() else {
+            debug_assert!(false, "OOO issues per-bank ops only");
+            return;
+        };
         let r = bank.rank as usize;
         let b = bank.bank as usize;
         debug_assert!(self.pending[r][b], "bank refreshed twice in a round");

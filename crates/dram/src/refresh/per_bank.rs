@@ -313,7 +313,9 @@ impl RefreshPolicy for PerBankSequential {
         }
         let (due, rest) = words.split_at(engines);
         let (next_bank, rest) = rest.split_at(ranks);
-        let (serial_rank, rest) = rest.split_first().expect("length checked");
+        let Some((serial_rank, rest)) = rest.split_first() else {
+            return false; // unreachable given the length check above
+        };
         let (rows_done, slices_done) = rest.split_at(ranks);
         if next_bank
             .iter()

@@ -70,6 +70,23 @@ proptest! {
         prop_assert_eq!(map.decode(paddr), loc);
     }
 
+    /// Decode ignores the byte-within-line offset: any address inside a
+    /// line decodes to that line's location, and encode reproduces the
+    /// line-aligned base — so the geometry <-> physical-address mapping
+    /// is a clean bijection on lines, not bytes.
+    #[test]
+    fn mapping_line_offset_invariance(
+        g in arb_geometry(), s in arb_scheme(), raw in any::<u64>(), off in any::<u64>(),
+    ) {
+        let map = AddressMapping::new(g, s);
+        let base = (raw % g.total_bytes()) & !u64::from(g.line_bytes - 1);
+        let inside = base + off % u64::from(g.line_bytes);
+        prop_assert_eq!(map.decode(inside), map.decode(base));
+        prop_assert_eq!(map.encode(map.decode(inside)), base);
+        // Encoded addresses stay inside the mapping's address space.
+        prop_assert!(map.encode(map.decode(base)) < (1u64 << map.addr_bits()));
+    }
+
     /// Every 4 KiB page maps to exactly one bank under every scheme.
     #[test]
     fn pages_are_bank_uniform(g in arb_geometry(), s in arb_scheme(), page in any::<u64>()) {

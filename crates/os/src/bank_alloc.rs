@@ -294,15 +294,14 @@ impl BankAwareAllocator {
         let richest = (0..self.total_banks as usize)
             .max_by_key(|&b| self.per_bank_free[b].len())
             .filter(|&b| !self.per_bank_free[b].is_empty());
-        let (frame, bank) = if let Some(b) = richest {
-            (
-                self.per_bank_free[b].pop().expect("non-empty stash"),
-                b as u32,
-            )
-        } else {
-            let frame = self.buddy.alloc(0)?;
-            self.stats.pulls += 1;
-            (frame, self.bank_of(frame))
+        let stash_hit = richest.and_then(|b| self.per_bank_free[b].pop().map(|f| (f, b as u32)));
+        let (frame, bank) = match stash_hit {
+            Some(hit) => hit,
+            None => {
+                let frame = self.buddy.alloc(0)?;
+                self.stats.pulls += 1;
+                (frame, self.bank_of(frame))
+            }
         };
         self.stats.allocations += 1;
         self.stats.fallbacks += 1;
@@ -324,6 +323,33 @@ impl BankAwareAllocator {
     /// Capacity of one bank in pages.
     pub fn pages_per_bank(&self) -> u64 {
         self.mapping.geometry().bank_bytes() / PAGE_BYTES
+    }
+
+    /// Structural self-audit: delegates to [`BuddyAllocator::audit`] and
+    /// then verifies every cached frame sits in the list of the bank it
+    /// actually maps to, with no frame cached twice. Returns the first
+    /// inconsistency, or `None` when sound.
+    pub fn audit(&self) -> Option<String> {
+        if let Some(problem) = self.buddy.audit() {
+            return Some(problem);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (bank, list) in self.per_bank_free.iter().enumerate() {
+            for &frame in list {
+                let actual = self.bank_of(frame);
+                if actual != bank as u32 {
+                    return Some(format!(
+                        "frame {frame:#x} cached under bank {bank} but maps to bank {actual}"
+                    ));
+                }
+                if !seen.insert(frame) {
+                    return Some(format!(
+                        "frame {frame:#x} cached twice in the per-bank lists — double free?"
+                    ));
+                }
+            }
+        }
+        None
     }
 
     /// Captures the buddy allocator, per-bank caches, and counters for

@@ -116,10 +116,11 @@ impl BuddyAllocator {
         let found = (order..=MAX_ORDER)
             .find(|&o| !self.free_lists[o as usize].is_empty())
             .ok_or(OutOfMemory)?;
-        let start = *self.free_lists[found as usize]
-            .iter()
-            .next()
-            .expect("non-empty");
+        // `found` selected a non-empty list, but degrade to OOM rather
+        // than panic if that ever stops holding.
+        let Some(&start) = self.free_lists[found as usize].iter().next() else {
+            return Err(OutOfMemory);
+        };
         self.free_lists[found as usize].remove(&start);
         // Split down to the requested order, freeing the upper halves.
         let mut o = found;
@@ -167,6 +168,53 @@ impl BuddyAllocator {
             order += 1;
         }
         self.free_lists[order as usize].insert(start);
+    }
+
+    /// Structural self-audit of the free lists: alignment, range,
+    /// free/allocated agreement with the allocation map, block overlap,
+    /// and the free-frame total. Returns the first inconsistency found,
+    /// or `None` when the structure is sound. Cost is linear in the
+    /// number of free blocks, so it is cheap enough to run per quantum
+    /// under full audit.
+    pub fn audit(&self) -> Option<String> {
+        let mut blocks: Vec<(Frame, u64)> = Vec::new();
+        for (o, list) in self.free_lists.iter().enumerate() {
+            let size = 1u64 << o;
+            for &start in list {
+                if !start.is_multiple_of(size) {
+                    return Some(format!("free block {start:#x}@{o} is misaligned"));
+                }
+                if start + size > self.frames {
+                    return Some(format!(
+                        "free block {start:#x}@{o} extends past end of memory"
+                    ));
+                }
+                if self.alloc_map[start as usize] != 0 {
+                    return Some(format!(
+                        "frame {start:#x} is both free (order {o}) and allocated (record {})",
+                        self.alloc_map[start as usize]
+                    ));
+                }
+                blocks.push((start, size));
+            }
+        }
+        blocks.sort_unstable();
+        for w in blocks.windows(2) {
+            let ((a, a_size), (b, _)) = (w[0], w[1]);
+            if a + a_size > b {
+                return Some(format!(
+                    "free blocks overlap: {a:#x}(+{a_size}) covers {b:#x} — double free?"
+                ));
+            }
+        }
+        let listed: u64 = blocks.iter().map(|&(_, s)| s).sum();
+        if listed != self.free_frames {
+            return Some(format!(
+                "free lists hold {listed} frame(s) but free_frames says {}",
+                self.free_frames
+            ));
+        }
+        None
     }
 
     /// Captures the full allocator state for checkpointing.

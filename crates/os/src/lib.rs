@@ -9,6 +9,7 @@
 //! §5.4.1 best-effort variant), and the soft/hard memory-partition
 //! planner of §5.2.1.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -150,7 +150,9 @@ impl Scheduler {
         }
         let chosen = match (self.policy, refresh_bank) {
             (SchedPolicy::Cfs, _) | (SchedPolicy::RefreshAware { .. }, None) => {
-                rq.leftmost().expect("non-empty queue")
+                // Emptiness was checked above; treat a desynchronized
+                // queue as "nothing runnable" instead of aborting.
+                rq.leftmost()?
             }
             (
                 SchedPolicy::RefreshAware {
@@ -193,10 +195,13 @@ impl Scheduler {
                     }
                     None => {
                         self.stats.eta_fallbacks += 1;
+                        // The walk examined >= 1 entity (queue is
+                        // non-empty), so both fallbacks are Some; bail
+                        // out gracefully if that ever stops holding.
                         if best_effort {
-                            best.expect("examined at least one").1
+                            best?.1
                         } else {
-                            first_entity.expect("non-empty queue")
+                            first_entity?
                         }
                     }
                 }
@@ -231,20 +236,19 @@ impl Scheduler {
     pub fn balance(&mut self, tasks: &mut [Task]) -> u64 {
         let mut moved = 0;
         loop {
-            let (max_cpu, max_len) = (0..self.queues.len())
-                .map(|c| (c, self.queues[c].len()))
-                .max_by_key(|&(_, l)| l)
-                .expect("at least one CPU");
-            let (min_cpu, min_len) = (0..self.queues.len())
-                .map(|c| (c, self.queues[c].len()))
-                .min_by_key(|&(_, l)| l)
-                .expect("at least one CPU");
+            let lens = (0..self.queues.len()).map(|c| (c, self.queues[c].len()));
+            let Some((max_cpu, max_len)) = lens.clone().max_by_key(|&(_, l)| l) else {
+                break; // no CPUs: nothing to balance
+            };
+            let Some((min_cpu, min_len)) = lens.clone().min_by_key(|&(_, l)| l) else {
+                break;
+            };
             if max_len <= min_len + 1 {
                 break;
             }
-            let (v, id) = self.queues[max_cpu]
-                .pop_rightmost()
-                .expect("max queue non-empty");
+            let Some((v, id)) = self.queues[max_cpu].pop_rightmost() else {
+                break; // max_len >= 2 implies non-empty; stop if not
+            };
             let t = &mut tasks[id.0 as usize];
             t.cpu = min_cpu as u32;
             // Re-floor into the destination queue.
