@@ -21,6 +21,36 @@ use crate::sanitize::AuditLevel;
 /// refresh-overhead *ratio* is preserved (see DESIGN.md §2).
 pub const DEFAULT_TIME_SCALE: u32 = 32;
 
+/// Default advancement-step pitch: 250 ns. Completions that become
+/// ready inside a step are delivered at its end, so the step is the
+/// simulation's *temporal fidelity* — smaller steps deliver memory
+/// completions (and thus unblock cores) closer to their true instants.
+/// 250 ns trades fidelity for wall-clock cost under the fixed-step
+/// engine; the event-horizon engine makes finer pitches affordable
+/// because it only visits boundaries where something happens.
+pub const DEFAULT_STEP: Ps = Ps(250_000);
+
+fn default_step() -> Ps {
+    DEFAULT_STEP
+}
+
+/// Simulation advancement engine (see DESIGN.md "Engine").
+///
+/// Both engines produce bit-identical state, metrics, and replay hashes;
+/// `EventSkip` merely elides step boundaries at which no component can
+/// act. `FixedStep` is retained for differential testing — the
+/// engine-equivalence suite runs every configuration through both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Crawl in fixed 250 ns steps (the original hot loop).
+    FixedStep,
+    /// Event-horizon engine: jump the clock to the earliest instant any
+    /// core, scheduler quantum, or memory-controller completion can
+    /// change system state.
+    #[default]
+    EventSkip,
+}
+
 /// Full system configuration.
 ///
 /// Build one from a preset and adjust fields with the `with_*` helpers:
@@ -80,6 +110,17 @@ pub struct SystemConfig {
     /// un-audited runs stay bit-identical to previous releases.
     #[serde(default)]
     pub audit: AuditLevel,
+    /// Simulation advancement engine. `EventSkip` by default — proven
+    /// bit-identical to `FixedStep` by the engine-equivalence suite.
+    #[serde(default)]
+    pub engine: EngineKind,
+    /// Advancement-step pitch (see [`DEFAULT_STEP`]). Both engines pace
+    /// the same boundary lattice `clock + k·step`, so results are
+    /// bit-identical across engines *at a given pitch*; changing the
+    /// pitch changes completion-delivery instants and is a fidelity
+    /// knob, not a cosmetic one.
+    #[serde(default = "default_step")]
+    pub step: Ps,
 }
 
 impl SystemConfig {
@@ -110,6 +151,8 @@ impl SystemConfig {
             seed: 0x5EED,
             fault_plan: None,
             audit: AuditLevel::Off,
+            engine: EngineKind::default(),
+            step: default_step(),
         }
     }
 
@@ -190,6 +233,21 @@ impl SystemConfig {
     /// would be silent data loss.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the simulation advancement engine (see [`EngineKind`]).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the advancement-step pitch (see [`SystemConfig::step`]).
+    /// Finer pitches raise temporal fidelity at higher fixed-step cost;
+    /// the event-horizon engine absorbs most of that cost by skipping
+    /// empty boundaries.
+    pub fn with_step(mut self, step: Ps) -> Self {
+        self.step = step;
         self
     }
 
@@ -277,6 +335,9 @@ impl SystemConfig {
             .map_err(RefsimError::InvalidConfig)?;
         if self.measure == Ps::ZERO {
             return bad("measure window must be non-empty".to_owned());
+        }
+        if self.step == Ps::ZERO {
+            return bad("advancement step must be positive".to_owned());
         }
         if matches!(self.sched_policy, SchedPolicy::RefreshAware { .. }) && self.channels != 1 {
             return bad(
@@ -371,6 +432,19 @@ mod tests {
         // tRFCpb), so the parallel per-rank schedule's tREFW/8 slices
         // set the quantum.
         assert_eq!(c.effective_timeslice(), c.trefw() / 8);
+    }
+
+    #[test]
+    fn validate_rejects_zero_step() {
+        let c = SystemConfig::table1().with_step(Ps::ZERO);
+        let e = c.validate().unwrap_err();
+        assert!(matches!(e, RefsimError::InvalidConfig(_)), "{e:?}");
+        assert!(e.to_string().contains("step"), "{e}");
+        assert!(SystemConfig::table1()
+            .with_step(Ps(1_250))
+            .validate()
+            .is_ok());
+        assert_eq!(SystemConfig::table1().step, DEFAULT_STEP);
     }
 
     #[test]

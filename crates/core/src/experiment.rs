@@ -10,7 +10,7 @@ use refsim_os::sched::SchedPolicy;
 use refsim_workloads::mix::{table2, WorkloadMix};
 use refsim_workloads::profiles::Benchmark;
 
-use crate::config::SystemConfig;
+use crate::config::{EngineKind, SystemConfig};
 use crate::error::RefsimError;
 use crate::faults::FaultPlan;
 use crate::metrics::{gmean_finite, RunMetrics};
@@ -92,6 +92,11 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Worker threads for independent runs.
     pub threads: usize,
+    /// Advancement engine for every job ([`EngineKind::EventSkip`] by
+    /// default; figures are engine-invariant — pinned by the
+    /// engine-equivalence suite — so this knob exists for differential
+    /// A/B sweeps and for timing the engines against each other).
+    pub engine: EngineKind,
 }
 
 impl ExpOptions {
@@ -107,6 +112,7 @@ impl ExpOptions {
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
+            engine: EngineKind::default(),
         }
     }
 
@@ -128,7 +134,9 @@ impl ExpOptions {
 
     /// The baseline configuration these options imply.
     pub fn base_config(&self) -> SystemConfig {
-        let mut cfg = SystemConfig::table1().with_time_scale(self.time_scale);
+        let mut cfg = SystemConfig::table1()
+            .with_time_scale(self.time_scale)
+            .with_engine(self.engine);
         cfg.seed = self.seed;
         cfg.warmup = cfg.trefw() * u64::from(self.warm_windows);
         cfg.measure = cfg.trefw() * u64::from(self.measure_windows);

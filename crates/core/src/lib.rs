@@ -13,6 +13,7 @@ pub mod codec;
 pub mod config;
 pub mod error;
 pub mod experiment;
+pub mod fastmap;
 pub mod faults;
 pub mod metrics;
 pub mod replay;

@@ -27,7 +27,7 @@ use refsim_workloads::mix::WorkloadMix;
 
 use crate::checkpoint::{Checkpoint, SavedSystem};
 use crate::codec::{fnv64, to_bytes, Enc, Snapshot};
-use crate::config::SystemConfig;
+use crate::config::{EngineKind, SystemConfig};
 use crate::error::RefsimError;
 use crate::system::System;
 
@@ -311,6 +311,29 @@ pub fn replay_verify(
     Ok(ReplayReport {
         samples: a.len().min(b.len()),
         divergence: first_divergence(&a, &b),
+    })
+}
+
+/// Runs `(cfg, mix)` once per advancement engine — fixed-step and
+/// event-skip — and verifies the two executions are bit-identical at
+/// every sampled quantum. This is the differential harness that
+/// licenses the event-horizon engine: any over-skip shows up as a hash
+/// divergence attributed to the first diverging component.
+///
+/// # Errors
+///
+/// Any simulation fault of either run. A divergence is *not* an error —
+/// it is the report's payload.
+pub fn replay_verify_engines(
+    cfg: &SystemConfig,
+    mix: &WorkloadMix,
+    opts: &ReplayOptions,
+) -> Result<ReplayReport, RefsimError> {
+    let fixed = trace(&cfg.clone().with_engine(EngineKind::FixedStep), mix, opts)?;
+    let skip = trace(&cfg.clone().with_engine(EngineKind::EventSkip), mix, opts)?;
+    Ok(ReplayReport {
+        samples: fixed.len().min(skip.len()),
+        divergence: first_divergence(&fixed, &skip),
     })
 }
 

@@ -1,7 +1,8 @@
 //! The co-simulation: cores ⇄ caches ⇄ memory controller ⇄ OS.
 //!
 //! [`System`] binds the four substrates into one discrete-event
-//! simulation. Time advances in small steps (`STEP`); within each step
+//! simulation. Time advances in small steps ([`SystemConfig::step`],
+//! 250 ns by default); within each step
 //! every core processes its scheduled task's instruction stream (through
 //! its private caches and into the memory controller), then the
 //! controller replays DRAM command scheduling up to the step boundary
@@ -14,10 +15,10 @@ use std::collections::HashMap;
 
 use refsim_cpu::core::ExecContext;
 use refsim_cpu::hierarchy::{CacheHierarchy, HierOutcome};
-use refsim_dram::controller::MemoryController;
+use refsim_dram::controller::{MemoryController, TraceEntry};
 use refsim_dram::mapping::AddressMapping;
 use refsim_dram::refresh::BusyForecast;
-use refsim_dram::request::{MemRequest, ReqId, ReqKind};
+use refsim_dram::request::{Completion, MemRequest, ReqId, ReqKind};
 use refsim_dram::time::Ps;
 use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
 use refsim_os::partition::{plan, PartitionInput, PartitionPlan};
@@ -31,17 +32,14 @@ use crate::checkpoint::{
     config_fingerprint, Checkpoint, SavedBaseline, SavedCore, SavedInflight, SavedPendingMem,
     SavedSim, SavedSystem, SavedTask,
 };
-use crate::config::SystemConfig;
+use crate::config::{EngineKind, SystemConfig};
 use crate::error::{RefsimError, SystemSnapshot};
+use crate::fastmap::FnvMap;
 use crate::metrics::{RunMetrics, TaskMetrics};
 use crate::sanitize::{
     AuditLevel, AuditScope, ChannelSample, CoreSample, Event, QuantumSample, Sanitizer,
     SchedSample, TaskSample, ViolationReport,
 };
-
-/// Simulation step granularity: bounds cross-core skew at the memory
-/// controller. 250 ns ≈ 200 DRAM clocks ≪ the scheduling quantum.
-const STEP: Ps = Ps(250_000);
 
 /// Forward-progress budget for one `run_until` span of `span` ps: a
 /// comfortable multiple of the maximum number of step boundaries
@@ -132,8 +130,10 @@ pub struct System {
     sched: Scheduler,
     alloc: BankAwareAllocator,
     next_req: u64,
-    /// In-flight fills: request → (task, core, line address).
-    inflight: HashMap<ReqId, (u32, u8, u64)>,
+    /// In-flight fills: request id → (task, core, line address). An
+    /// FNV-hashed open-addressing table — one insert and one remove per
+    /// LLC miss make this the hottest map in the simulator.
+    inflight: FnvMap<(u32, u8, u64)>,
     base: Vec<TaskSnapshot>,
     sched_base_stats: refsim_os::sched::SchedStats,
     measure_start: Ps,
@@ -145,6 +145,37 @@ pub struct System {
     quanta: u64,
     /// Report from a completed audit (see [`System::finish_audit`]).
     last_report: Option<ViolationReport>,
+    /// Reusable per-step buffer for drained read completions.
+    comp_buf: Vec<Completion>,
+    /// Reusable per-step buffer for the sanitizer's DRAM command trace.
+    trace_buf: Vec<TraceEntry>,
+    /// Test hook: widens every event-skip jump by this much, deliberately
+    /// overshooting event horizons. See [`System::debug_skip_overshoot`].
+    skip_overshoot: Ps,
+    /// Engine telemetry (not checkpointed, not hashed): loop iterations
+    /// and which horizon constraint bound each skip decision.
+    engine_stats: EngineStats,
+}
+
+/// Telemetry for the step loop and the event-horizon skip decisions.
+/// Diagnostic only — excluded from checkpoints and replay hashes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// Step-loop iterations executed.
+    pub iterations: u64,
+    /// Skip decisions abandoned because a core was idle.
+    pub no_skip_idle: u64,
+    /// Skip decisions bound by a runnable (non-inert) core or an
+    /// imminent quantum end — the horizon never cleared one step.
+    pub no_skip_core: u64,
+    /// Skips truncated by a controller's utilization-epoch cap.
+    pub epoch_bound: u64,
+    /// Skips truncated by an upcoming read completion.
+    pub completion_bound: u64,
+    /// Iterations that jumped past at least one elided step boundary.
+    pub skipped: u64,
+    /// Total step boundaries elided by those jumps.
+    pub steps_elided: u64,
 }
 
 /// Builds the [`AuditScope`] describing `cfg` for the standard checker
@@ -273,13 +304,17 @@ impl System {
             sched,
             alloc,
             next_req: 1,
-            inflight: HashMap::new(),
+            inflight: FnvMap::new(),
             base: vec![TaskSnapshot::default(); n],
             sched_base_stats: Default::default(),
             measure_start: Ps::ZERO,
             san,
             quanta: 0,
             last_report: None,
+            comp_buf: Vec::new(),
+            trace_buf: Vec::new(),
+            skip_overshoot: Ps::ZERO,
+            engine_stats: EngineStats::default(),
         };
         if sys.san.is_some() {
             // Checkers consume the controller command trace as events.
@@ -412,13 +447,14 @@ impl System {
         let span = t_end.saturating_sub(self.clock).as_ps();
         let budget = watchdog_budget(
             span,
-            STEP.as_ps(),
+            self.cfg.step.as_ps(),
             self.sched.timeslice().as_ps(),
             self.cores.len() as u64,
         );
         let mut steps = 0u64;
         while self.clock < t_end {
             steps += 1;
+            self.engine_stats.iterations += 1;
             if steps > budget {
                 return Err(RefsimError::NoProgress {
                     at: self.clock,
@@ -434,11 +470,19 @@ impl System {
                 }
             }
             // 2. Choose the step boundary: never skip past a quantum end.
-            let mut step_end = (self.clock + STEP).min(t_end);
+            let mut step_end = (self.clock + self.cfg.step).min(t_end);
             for core in &self.cores {
                 if core.current.is_some() && core.quantum_end > self.clock {
                     step_end = step_end.min(core.quantum_end);
                 }
+            }
+            // 2b. Event-horizon engine: when the whole machine is
+            //     provably inert past `step_end`, jump the boundary to
+            //     the earliest instant anything can happen. `step_end`
+            //     stays on the exact boundary chain the fixed-step
+            //     engine would visit, so both engines are bit-identical.
+            if self.cfg.engine == EngineKind::EventSkip {
+                step_end = self.skip_horizon(step_end, t_end)?;
             }
             // 3. Cores execute.
             for c in 0..self.cores.len() {
@@ -447,8 +491,11 @@ impl System {
             // 4. Memory advances; completions unblock contexts.
             for ch in 0..self.mcs.len() {
                 self.mcs[ch].try_advance_to(step_end)?;
-                for done in self.mcs[ch].drain_completions() {
-                    if let Some((task, core, line)) = self.inflight.remove(&done.id) {
+                let mut comp = std::mem::take(&mut self.comp_buf);
+                comp.clear();
+                self.mcs[ch].drain_completions_into(&mut comp);
+                for done in &comp {
+                    if let Some((task, core, line)) = self.inflight.remove(done.id.0) {
                         self.cores[core as usize].inflight_lines.remove(&line);
                         self.sims[task as usize].ctx.on_completion(
                             &self.cfg.core,
@@ -457,24 +504,183 @@ impl System {
                         );
                     }
                 }
+                self.comp_buf = comp;
             }
             // 5. The sanitizer consumes this step's DRAM command trace.
-            if let Some(san) = self.san.as_mut() {
-                for (ch, mc) in self.mcs.iter_mut().enumerate() {
-                    for e in mc.take_trace() {
-                        san.on_event(&Event::DramCmd {
-                            channel: ch as u32,
-                            at: e.at,
-                            cmd: e.cmd,
-                            rank: e.rank,
-                            bank: e.bank,
-                        });
+            if self.san.is_some() {
+                let mut buf = std::mem::take(&mut self.trace_buf);
+                for ch in 0..self.mcs.len() {
+                    buf.clear();
+                    self.mcs[ch].drain_trace_into(&mut buf);
+                    if let Some(san) = self.san.as_mut() {
+                        for e in &buf {
+                            san.on_event(&Event::DramCmd {
+                                channel: ch as u32,
+                                at: e.at,
+                                cmd: e.cmd,
+                                rank: e.rank,
+                                bank: e.bank,
+                            });
+                        }
                     }
                 }
+                self.trace_buf = buf;
             }
             self.clock = step_end;
         }
         Ok(())
+    }
+
+    /// The largest step-chain boundary at or before `t`: boundaries are
+    /// `clock + k·step` — exactly the instants the fixed-step engine
+    /// visits from the current clock (quantum ends and `t_end` truncate
+    /// the chain; both are handled by `min`-composition in
+    /// [`skip_horizon`](Self::skip_horizon)).
+    fn chain_floor(&self, t: Ps) -> Ps {
+        if t <= self.clock {
+            return self.clock;
+        }
+        let step = self.cfg.step.as_ps();
+        let k = (t - self.clock).as_ps() / step;
+        Ps(self.clock.as_ps() + k * step)
+    }
+
+    /// The smallest step-chain boundary at or after `t` (see
+    /// [`chain_floor`](Self::chain_floor)).
+    fn chain_ceil(&self, t: Ps) -> Ps {
+        if t <= self.clock {
+            return self.clock;
+        }
+        let step = self.cfg.step.as_ps();
+        let k = (t - self.clock).as_ps().div_ceil(step);
+        Ps(self.clock.as_ps() + k * step)
+    }
+
+    /// Computes the furthest step boundary the event-horizon engine may
+    /// jump to in this iteration, or `step_end` when any component can
+    /// act before then (no skip — fall back to one fixed step).
+    ///
+    /// Soundness argument (see DESIGN.md "Engine" for the full
+    /// derivation): a span may be skipped only if the fixed-step engine
+    /// would perform *no state change* at any elided boundary, and the
+    /// landing point is itself a fixed-step boundary. The binding events
+    /// are:
+    ///
+    /// - **Quantum ends** — `maybe_switch` fires at the boundary ≥ each
+    ///   core's `quantum_end`; the chain truncates there.
+    /// - **Core activity** — a runnable core (or one with back-pressured
+    ///   pending memory ops) acts in the step containing its context
+    ///   clock, so the skip stops at `chain_floor(ctx.now())`. A stalled
+    ///   core with no pending ops is inert until a completion arrives.
+    /// - **Idle cores** — re-run their (stat-counting) scheduler pick at
+    ///   every boundary; eliding boundaries would elide those picks, so
+    ///   an idle machine crawls. The win targets busy, memory-stalled
+    ///   machines.
+    /// - **Utilization-epoch rolls** — a non-inert controller is never
+    ///   leapt across [`MemoryController::advance_cap`], keeping the
+    ///   epoch-roll ↔ command interleaving identical to stepwise
+    ///   advancement (refresh-rate policies consume those rolls).
+    /// - **Read completions** — delivering one can unblock a stalled
+    ///   core, so the skip stops at the chain boundary that fixed-step
+    ///   would deliver the earliest completion at. With one channel the
+    ///   controller advances with an early stop
+    ///   ([`MemoryController::try_advance_until_completion`]) to
+    ///   *discover* that instant; with several, the conservative bound
+    ///   is each read-holding channel's next scheduled action.
+    fn skip_horizon(&mut self, step_end: Ps, t_end: Ps) -> Result<Ps, RefsimError> {
+        let mut w = t_end;
+        for core in &self.cores {
+            let Some(cur) = core.current else {
+                self.engine_stats.no_skip_idle += 1;
+                return Ok(step_end);
+            };
+            if core.quantum_end <= self.clock {
+                self.engine_stats.no_skip_core += 1;
+                return Ok(step_end);
+            }
+            w = w.min(core.quantum_end);
+            let sim = &self.sims[cur as usize];
+            let inert = sim.pending.is_none() && sim.ctx.next_event_time(&self.cfg.core).is_none();
+            if !inert {
+                w = w.min(self.chain_floor(sim.ctx.now()));
+            }
+        }
+        if w <= step_end {
+            self.engine_stats.no_skip_core += 1;
+            return Ok(step_end);
+        }
+        for ch in 0..self.mcs.len() {
+            if let Some(cap) = self.mcs[ch].advance_cap() {
+                if cap <= w {
+                    w = w.min(self.chain_floor(Ps(cap.as_ps().saturating_sub(1))));
+                    self.engine_stats.epoch_bound += 1;
+                }
+            }
+        }
+        if w <= step_end {
+            return Ok(step_end);
+        }
+        debug_assert!(
+            self.mcs.iter().all(|mc| !mc.has_completions()),
+            "completions must be drained before a skip decision"
+        );
+        if self.mcs.len() == 1 {
+            if self.mcs[0].queue_depths().0 > 0 {
+                if let Some(cas_at) = self.mcs[0].try_advance_until_completion(w)? {
+                    w = w.min(self.chain_ceil(cas_at));
+                    self.engine_stats.completion_bound += 1;
+                }
+            }
+        } else {
+            for ch in 0..self.mcs.len() {
+                if self.mcs[ch].queue_depths().0 > 0 {
+                    if let Some(next) = self.mcs[ch].next_event_time() {
+                        w = w.min(self.chain_ceil(next));
+                        self.engine_stats.completion_bound += 1;
+                    }
+                }
+            }
+        }
+        if self.skip_overshoot > Ps::ZERO {
+            w = (w + self.skip_overshoot).min(t_end);
+        }
+        let w = w.max(step_end);
+        if w > step_end {
+            self.engine_stats.skipped += 1;
+            self.engine_stats.steps_elided +=
+                (w - step_end).as_ps().div_ceil(self.cfg.step.as_ps());
+        }
+        Ok(w)
+    }
+
+    /// Test hook for the negative-control suite: widens every event-skip
+    /// jump by `extra`, deliberately overshooting event horizons
+    /// (quantum ends included) to prove a broken engine is caught by the
+    /// replay auditor and invariant checkers. Never enable outside
+    /// tests.
+    #[doc(hidden)]
+    pub fn debug_skip_overshoot(&mut self, extra: Ps) {
+        self.skip_overshoot = extra;
+    }
+
+    /// Engine telemetry for the run so far: loop iterations and the
+    /// skip-decision breakdown. Diagnostic only — never checkpointed or
+    /// hashed, so reading it cannot perturb replay equivalence.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine_stats
+    }
+
+    /// Test hook: capacities of the reusable hot-loop buffers
+    /// `(trace, completions)` plus the inflight table's slot count.
+    /// Steady-state stepping must not grow any of them — the allocation
+    /// regression tests pin that by sampling before and after a window.
+    #[doc(hidden)]
+    pub fn debug_buffer_capacities(&self) -> (usize, usize, usize) {
+        (
+            self.trace_buf.capacity(),
+            self.comp_buf.capacity(),
+            self.inflight.slot_capacity(),
+        )
     }
 
     /// A diagnostic digest of current system state, attached to
@@ -558,8 +764,8 @@ impl System {
         let mut inflight: Vec<SavedInflight> = self
             .inflight
             .iter()
-            .map(|(&id, &(task, core, line))| SavedInflight {
-                id: id.0,
+            .map(|(id, &(task, core, line))| SavedInflight {
+                id,
                 task,
                 core,
                 line,
@@ -683,11 +889,10 @@ impl System {
         }
         self.sched.restore_state(&s.sched)?;
         self.alloc.restore_state(&s.alloc)?;
-        self.inflight = s
-            .inflight
-            .iter()
-            .map(|i| (ReqId(i.id), (i.task, i.core, i.line)))
-            .collect();
+        self.inflight.clear();
+        for i in &s.inflight {
+            self.inflight.insert(i.id, (i.task, i.core, i.line));
+        }
         for (b, saved) in self.base.iter_mut().zip(&s.base) {
             *b = TaskSnapshot {
                 instructions: saved.instructions,
@@ -1137,7 +1342,7 @@ impl System {
                     task: cur as u32,
                 };
                 self.mcs[ch].enqueue(req).expect("checked capacity");
-                self.inflight.insert(id, (cur as u32, c as u8, line));
+                self.inflight.insert(id.0, (cur as u32, c as u8, line));
                 self.cores[c].inflight_lines.insert(line, id);
                 self.sims[cur]
                     .ctx

@@ -335,6 +335,21 @@ impl ExecContext {
         }
     }
 
+    /// The next instant this context can execute work on its own, or
+    /// `None` while a stall binds (only a completion can wake it — the
+    /// context has no timer-like events of its own).
+    ///
+    /// The event-horizon engine uses this to bound clock skips: an
+    /// unstalled context is inert until the simulation step containing
+    /// `now`, a stalled one until its blocking request completes.
+    pub fn next_event_time(&self, cfg: &CoreConfig) -> Option<Ps> {
+        if self.stall(cfg).is_some() {
+            None
+        } else {
+            Some(self.now)
+        }
+    }
+
     /// Requests still in flight (drained by the system when a task exits).
     pub fn in_flight(&self) -> impl Iterator<Item = ReqId> + '_ {
         self.outstanding.iter().map(|o| o.id)

@@ -390,6 +390,18 @@ impl MemoryController {
         }
     }
 
+    /// Appends the commands recorded since the previous drain to `out`
+    /// and clears the internal buffer, without allocating: the hot-path
+    /// form of [`take_trace`](Self::take_trace) — the caller owns (and
+    /// reuses) the destination buffer, so steady-state stepping performs
+    /// zero per-step allocations once both buffers reach their high-water
+    /// capacity.
+    pub fn drain_trace_into(&mut self, out: &mut Vec<TraceEntry>) {
+        if let Some(t) = &mut self.trace {
+            out.append(t);
+        }
+    }
+
     fn record(&mut self, at: Ps, cmd: TraceCmd, rank: u8, bank: u8) {
         if let Some(t) = &mut self.trace {
             t.push(TraceEntry {
@@ -581,6 +593,52 @@ impl MemoryController {
         std::mem::take(&mut self.completions)
     }
 
+    /// Appends all read completions produced since the last drain to
+    /// `out` and clears the internal buffer — the allocation-free form of
+    /// [`drain_completions`](Self::drain_completions) for callers that
+    /// reuse one buffer across steps.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
+    }
+
+    /// Whether undrained read completions are buffered.
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
+    }
+
+    /// End of the current bandwidth-utilization epoch: the next instant
+    /// at which an advance will roll the epoch accumulator and report
+    /// utilization to the refresh policy. The event-skip engine never
+    /// leaps a controller with queued transactions across this boundary,
+    /// so the roll ↔ CAS interleaving matches fixed-step advancement.
+    pub fn next_epoch_roll(&self) -> Ps {
+        self.epoch_start + self.cfg.utilization_epoch
+    }
+
+    /// The furthest instant a single `try_advance_to` call may target
+    /// while remaining interleaving-equivalent to a chain of smaller
+    /// advances through the same instants, or `None` when the channel is
+    /// completely inert (no queued transactions and no refresh schedule)
+    /// and can be leapt arbitrarily far.
+    ///
+    /// The binding boundary is the utilization-epoch roll: an advance
+    /// rolls every epoch ending at or before its target *before*
+    /// executing the span's actions, so leaping a non-inert channel
+    /// across a roll would let refresh-rate decisions (which consult
+    /// per-epoch utilization) observe a different history than stepwise
+    /// advancement — the event-skip engine stops short of it instead.
+    pub fn advance_cap(&self) -> Option<Ps> {
+        let inert = self.read_q.is_empty()
+            && self.write_q.is_empty()
+            && self.pending_refresh.is_none()
+            && self.policy.next_due().is_none();
+        if inert {
+            None
+        } else {
+            Some(self.next_epoch_roll())
+        }
+    }
+
     /// The instant of the controller's next internally scheduled action,
     /// or `None` when it is fully idle (no queued work and no refresh —
     /// only possible under [`RefreshPolicyKind::NoRefresh`]).
@@ -615,6 +673,32 @@ impl MemoryController {
     ///   condition fails while executing an action (refresh machinery or
     ///   retention-oracle bookkeeping).
     pub fn try_advance_to(&mut self, target: Ps) -> Result<(), DramError> {
+        self.advance_loop(target, false).map(|_| ())
+    }
+
+    /// Advances like [`try_advance_to`](Self::try_advance_to), but stops
+    /// immediately after the first action that produces a read
+    /// completion, returning its issue instant; the cursor is left at
+    /// that action and a later `try_advance_to` resumes seamlessly.
+    /// Returns `None` after a full advance to `target` with no
+    /// completion.
+    ///
+    /// The event-skip engine uses this to discover how far the machine
+    /// can leap while every core is stalled: the first completion bounds
+    /// the skip, because delivering it can unblock a core.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`try_advance_to`](Self::try_advance_to).
+    pub fn try_advance_until_completion(&mut self, target: Ps) -> Result<Option<Ps>, DramError> {
+        self.advance_loop(target, true)
+    }
+
+    fn advance_loop(
+        &mut self,
+        target: Ps,
+        stop_on_completion: bool,
+    ) -> Result<Option<Ps>, DramError> {
         if target < self.cursor {
             return Err(DramError::TimeRegression {
                 cursor: self.cursor,
@@ -643,14 +727,18 @@ impl MemoryController {
                         });
                     }
                     self.cursor = at;
+                    let had = self.completions.len();
                     self.execute(action, at)?;
+                    if stop_on_completion && self.completions.len() > had {
+                        return Ok(Some(at));
+                    }
                 }
                 _ => break,
             }
         }
         self.cursor = target;
         self.roll_epochs(target);
-        Ok(())
+        Ok(None)
     }
 
     /// Captures the controller's full dynamic state for checkpointing.
