@@ -1,21 +1,19 @@
 //! Runs the complete evaluation — every table and figure — and prints
 //! markdown suitable for EXPERIMENTS.md.
+//!
+//! Unlike the single-figure binaries, this one runs in two passes over a
+//! shared [`RunPool`]: the first pass only *collects* every job each
+//! figure would run, the pool executes the deduplicated union on one
+//! thread pool (serving repeats from the run cache when enabled), and the
+//! second pass renders each figure from the shared result map.
 
-use refsim_core::experiment as exp;
+use std::sync::Arc;
 
-fn main() {
-    let cli = refsim_bench::Cli::parse();
-    let o = &cli.opts;
-    let started = std::time::Instant::now();
-    println!("# refsim — full evaluation run\n");
-    println!(
-        "time-scale 1/{}, {} workloads, {} measured window(s), seed {:#x}\n",
-        o.time_scale,
-        o.workloads.len(),
-        o.measure_windows,
-        o.seed
-    );
-    let sections: Vec<(String, Vec<refsim_core::report::Table>)> = vec![
+use refsim_core::experiment::{self as exp, ExpOptions, RunPool};
+use refsim_core::report::Table;
+
+fn sections(o: &ExpOptions) -> Vec<(String, Vec<Table>)> {
+    vec![
         ("Table 1".into(), vec![exp::table01(o)]),
         ("Table 2".into(), vec![exp::table02(o)]),
         ("Figure 3".into(), vec![exp::figure03(o)]),
@@ -28,12 +26,43 @@ fn main() {
         ("Figure 14".into(), vec![exp::figure14(o)]),
         ("Figure 15".into(), vec![exp::figure15(o)]),
         ("Ablation".into(), vec![exp::ablation(o)]),
-    ];
-    for (name, tables) in &sections {
+    ]
+}
+
+fn main() {
+    let mut cli = refsim_bench::Cli::parse();
+    let pool = Arc::new(RunPool::new());
+    cli.opts.pool = Some(Arc::clone(&pool));
+    let o = &cli.opts;
+    let started = std::time::Instant::now();
+
+    // Pass 1: every figure registers its jobs; tables are placeholders.
+    let _ = sections(o);
+    eprintln!(
+        "[{:8.1?}] collected {} unique jobs across all figures",
+        started.elapsed(),
+        pool.unique_jobs()
+    );
+
+    // Execute the deduplicated union on one shared pool.
+    pool.execute(o);
+    eprintln!("[{:8.1?}] shared pool drained", started.elapsed());
+
+    // Pass 2: render every figure from the shared result map.
+    println!("# refsim — full evaluation run\n");
+    println!(
+        "time-scale 1/{}, {} workloads, {} measured window(s), seed {:#x}\n",
+        o.time_scale,
+        o.workloads.len(),
+        o.measure_windows,
+        o.seed
+    );
+    for (name, tables) in &sections(o) {
         eprintln!("[{:8.1?}] {name} done", started.elapsed());
         for t in tables {
             println!("{}", t.to_markdown());
         }
     }
     eprintln!("total: {:?}", started.elapsed());
+    cli.finish();
 }

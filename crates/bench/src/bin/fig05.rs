@@ -5,4 +5,5 @@ fn main() {
     let cli = refsim_bench::Cli::parse();
     let t = refsim_core::experiment::figure05();
     cli.emit(&t);
+    cli.finish();
 }

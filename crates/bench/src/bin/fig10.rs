@@ -5,4 +5,5 @@ fn main() {
     let cli = refsim_bench::Cli::parse();
     let tables = refsim_core::experiment::figure10(&cli.opts);
     cli.emit_all(&tables);
+    cli.finish();
 }

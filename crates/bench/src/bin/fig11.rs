@@ -4,4 +4,5 @@ fn main() {
     let cli = refsim_bench::Cli::parse();
     let t = refsim_core::experiment::figure11(&cli.opts);
     cli.emit(&t);
+    cli.finish();
 }

@@ -4,4 +4,5 @@ fn main() {
     let cli = refsim_bench::Cli::parse();
     let tables = refsim_core::experiment::figure13(&cli.opts);
     cli.emit_all(&tables);
+    cli.finish();
 }

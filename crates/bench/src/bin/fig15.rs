@@ -5,4 +5,5 @@ fn main() {
     let cli = refsim_bench::Cli::parse();
     let t = refsim_core::experiment::figure15(&cli.opts);
     cli.emit(&t);
+    cli.finish();
 }

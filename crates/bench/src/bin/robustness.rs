@@ -24,4 +24,6 @@ fn main() {
     plan.horizon = 1_000_000;
     let faulted = robustness_table(&cli.opts, Some(&plan));
     cli.emit(&faulted);
+
+    cli.finish();
 }

@@ -18,7 +18,7 @@
 //!
 //! * `--quick` — fewer timing reps (CI smoke);
 //! * `--scale N` — time-scale divisor for every scenario (default 256);
-//! * `--reps N` — timing repetitions; the fastest rep wins (default 3);
+//! * `--reps N` — timing repetitions; the median rep wins (default 3);
 //! * `--out PATH` — JSON output path (default `BENCH_simwall.json`);
 //! * `--check` — exit non-zero unless event-skip wins ≥ 3× on the
 //!   reference scenario and is no slower than fixed-step (to timing
@@ -137,12 +137,18 @@ fn bench_engine(
     reps: u32,
 ) -> EngineResult {
     let cfg = base.clone().with_engine(engine);
-    // Untimed warmup rep to populate caches/allocator, then fastest of
-    // `reps` timed repetitions (min is the standard low-noise choice).
+    // Untimed warmup rep to populate caches/allocator, then the median
+    // of `reps` timed repetitions. The fastest-of-N estimator looked
+    // lower-noise but made `--check` flaky on shared hosts: a single
+    // lucky fixed-step rep (or an interference burst hitting every
+    // event-skip rep) skews the ratio. The median discards the outlier
+    // in either direction instead of always crediting it to one side.
     let (_, iterations) = time_run(&cfg, mix, span);
-    let wall_s = (0..reps)
+    let mut samples: Vec<f64> = (0..reps.max(1))
         .map(|_| time_run(&cfg, mix, span).0)
-        .fold(f64::INFINITY, f64::min);
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let wall_s = samples[samples.len() / 2];
     EngineResult {
         wall_s,
         sim_ps_per_s: span.as_ps() as f64 / wall_s,
@@ -188,7 +194,7 @@ fn main() {
     // few percent of each measurement.
     let span = base.trefw() * 4;
     println!(
-        "simwall: span {} us per run, scale {scale}, best of {reps} rep(s)\n",
+        "simwall: span {} us per run, scale {scale}, median of {reps} rep(s)\n",
         span.as_ps() / 1_000_000
     );
     println!(
@@ -286,7 +292,11 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    std::fs::write(&out, json).expect("write JSON artifact");
+    // Write-then-rename so a concurrent reader (or a crash mid-write)
+    // never observes a truncated artifact.
+    let tmp = format!("{out}.{}.tmp", std::process::id());
+    std::fs::write(&tmp, json).expect("write JSON artifact");
+    std::fs::rename(&tmp, &out).expect("publish JSON artifact");
     println!("\nwrote {out}");
 
     if check {

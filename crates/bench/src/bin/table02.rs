@@ -4,4 +4,5 @@ fn main() {
     let cli = refsim_bench::Cli::parse();
     let t = refsim_core::experiment::table02(&cli.opts);
     cli.emit(&t);
+    cli.finish();
 }

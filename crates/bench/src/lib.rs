@@ -9,13 +9,22 @@
 //! * `--quick` — 4 representative mixes, coarser time scale (smoke run);
 //! * `--scale N` — override the time-scale divisor;
 //! * `--seed N` — override the workload seed;
-//! * `--csv` — emit CSV instead of aligned text.
+//! * `--csv` — emit CSV instead of aligned text;
+//! * `--cache-dir PATH` — persistent run cache (default: the
+//!   `REFSIM_CACHE_DIR` environment variable, if set);
+//! * `--no-cache` — ignore any cache directory;
+//! * `--stats-out PATH` — write dedup/cache telemetry as JSON;
+//! * `--min-hit-rate X` — exit non-zero unless the cache hit rate
+//!   reaches `X` (CI warm-cache gate).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use std::path::PathBuf;
+
 use refsim_core::experiment::ExpOptions;
 use refsim_core::report::Table;
+use refsim_core::runcache::RunCache;
 
 pub mod soak;
 
@@ -26,6 +35,10 @@ pub struct Cli {
     pub opts: ExpOptions,
     /// Emit CSV instead of aligned text.
     pub csv: bool,
+    /// Telemetry JSON destination, if requested.
+    pub stats_out: Option<PathBuf>,
+    /// Minimum acceptable cache hit rate, if gated.
+    pub min_hit_rate: Option<f64>,
 }
 
 impl Cli {
@@ -42,6 +55,10 @@ impl Cli {
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = ExpOptions::full();
         let mut csv = false;
+        let mut cache = RunCache::from_env();
+        let mut no_cache = false;
+        let mut stats_out = None;
+        let mut min_hit_rate = None;
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -63,14 +80,63 @@ impl Cli {
                     opts.threads = v.parse().expect("--threads must be an integer");
                 }
                 "--csv" => csv = true,
+                "--cache-dir" => {
+                    let v = it.next().expect("--cache-dir needs a path");
+                    cache = Some(RunCache::new(v));
+                }
+                "--no-cache" => no_cache = true,
+                "--stats-out" => {
+                    let v = it.next().expect("--stats-out needs a path");
+                    stats_out = Some(PathBuf::from(v));
+                }
+                "--min-hit-rate" => {
+                    let v = it.next().expect("--min-hit-rate needs a value");
+                    min_hit_rate = Some(v.parse().expect("--min-hit-rate must be a number"));
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: [--quick] [--scale N] [--seed N] [--threads N] [--csv]");
+                    eprintln!(
+                        "flags: [--quick] [--scale N] [--seed N] [--threads N] [--csv] \
+                         [--cache-dir PATH] [--no-cache] [--stats-out PATH] [--min-hit-rate X]"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other}; try --help"),
             }
         }
-        Cli { opts, csv }
+        opts.cache = if no_cache { None } else { cache };
+        Cli {
+            opts,
+            csv,
+            stats_out,
+            min_hit_rate,
+        }
+    }
+
+    /// End-of-run bookkeeping every figure binary shares: prints the
+    /// dedup/cache telemetry to stderr (when any sweep ran), writes the
+    /// `--stats-out` JSON artifact, and enforces `--min-hit-rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stats artifact cannot be written.
+    pub fn finish(&self) {
+        let stats = self.opts.telemetry.snapshot();
+        if stats.requested > 0 {
+            eprintln!("runcache: {}", stats.summary());
+        }
+        if let Some(path) = &self.stats_out {
+            stats.write_json(path).expect("write stats artifact");
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(floor) = self.min_hit_rate {
+            if stats.hit_rate() < floor {
+                eprintln!(
+                    "FAIL: cache hit rate {:.3} is below the {floor:.3} floor",
+                    stats.hit_rate()
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     /// Prints a table in the selected format.
@@ -103,6 +169,33 @@ mod tests {
         assert_eq!(cli.opts.time_scale, 64);
         assert_eq!(cli.opts.seed, 7);
         assert_eq!(cli.opts.workloads.len(), 4);
+    }
+
+    #[test]
+    fn parses_cache_flags() {
+        let cli = Cli::from_args(
+            [
+                "--cache-dir",
+                "/tmp/rc",
+                "--stats-out",
+                "stats.json",
+                "--min-hit-rate",
+                "0.9",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(cli.opts.cache, Some(RunCache::new("/tmp/rc")));
+        assert_eq!(
+            cli.stats_out.as_deref(),
+            Some(std::path::Path::new("stats.json"))
+        );
+        assert_eq!(cli.min_hit_rate, Some(0.9));
+    }
+
+    #[test]
+    fn no_cache_overrides_cache_dir() {
+        let cli = Cli::from_args(["--cache-dir", "/tmp/rc", "--no-cache"].map(String::from));
+        assert_eq!(cli.opts.cache, None);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! A checkpoint captures **dynamic state only**: the configuration and
 //! workload mix are *not* stored. Restoring means rebuilding a fresh
 //! `System` from the same `(config, mix)` pair and importing the saved
-//! dynamic state into it; a 64-bit fingerprint of the `(config, mix)`
-//! debug representation travels with every image so a mismatched rebuild
-//! is rejected instead of silently diverging.
+//! dynamic state into it; the 64-bit canonical `(config, mix)`
+//! fingerprint (see [`crate::runcache`]) travels with every image so a
+//! mismatched rebuild is rejected instead of silently diverging.
 //!
 //! # File format (version 1)
 //!
@@ -13,7 +13,7 @@
 //! offset  size  field
 //! 0       4     magic  b"RFSM"
 //! 4       4     format version (little-endian u32, currently 1)
-//! 8       8     config fingerprint (FNV-1a of "{cfg:?}|{mix:?}")
+//! 8       8     config fingerprint (canonical; see `runcache`)
 //! 16      8     payload length N
 //! 24      N     payload: SavedSystem via the crate codec
 //! 24+N    8     checksum: FNV-1a over bytes [0, 24+N)
@@ -403,9 +403,12 @@ impl From<CodecError> for CheckpointError {
 
 /// FNV-1a fingerprint of a `(config, mix)` pair, stored in every
 /// checkpoint so images cannot be restored into a differently
-/// configured system.
+/// configured system. Delegates to the run cache's canonical encoding
+/// ([`crate::runcache::job_fingerprint`]): a stable, field-by-field
+/// byte encoding rather than the `Debug` representation, so the
+/// fingerprint survives field renames and `Debug`-format churn.
 pub fn config_fingerprint(cfg: &SystemConfig, mix: &WorkloadMix) -> u64 {
-    codec::fnv64(format!("{cfg:?}|{mix:?}").as_bytes())
+    crate::runcache::job_fingerprint(cfg, mix)
 }
 
 /// A framed, checksummed checkpoint: fingerprint + [`SavedSystem`].

@@ -121,6 +121,13 @@ pub struct SystemConfig {
     /// knob, not a cosmetic one.
     #[serde(default = "default_step")]
     pub step: Ps,
+    /// Deliberate event-skip horizon overshoot (test-only negative
+    /// control for the engine-equivalence harness; see
+    /// `System::debug_skip_overshoot`). `ZERO` — the only sane value —
+    /// by default. Non-zero values corrupt the run *on purpose*, so the
+    /// run cache refuses to serve or store such runs.
+    #[serde(default)]
+    pub debug_skip_overshoot: Ps,
 }
 
 impl SystemConfig {
@@ -153,6 +160,7 @@ impl SystemConfig {
             audit: AuditLevel::Off,
             engine: EngineKind::default(),
             step: default_step(),
+            debug_skip_overshoot: Ps::ZERO,
         }
     }
 
@@ -254,6 +262,13 @@ impl SystemConfig {
     /// Sets the runtime invariant-audit level (see [`crate::sanitize`]).
     pub fn with_audit(mut self, level: AuditLevel) -> Self {
         self.audit = level;
+        self
+    }
+
+    /// Sets the deliberate skip-overshoot amount (negative-control knob;
+    /// see [`SystemConfig::debug_skip_overshoot`]).
+    pub fn with_debug_skip_overshoot(mut self, extra: Ps) -> Self {
+        self.debug_skip_overshoot = extra;
         self
     }
 

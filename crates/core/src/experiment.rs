@@ -1,8 +1,23 @@
 //! Experiment harness: named builders that regenerate every results
 //! table and figure of the paper's evaluation (§6). Each builder returns
 //! [`Table`]s whose rows mirror the corresponding figure's series.
+//!
+//! All builders execute their sweeps through [`run_jobs`], which routes
+//! through the resilient runner (in-flight dedup always on, persistent
+//! [`RunCache`] when [`ExpOptions::cache`] is set) and accumulates
+//! [`CacheStats`] into [`ExpOptions::telemetry`]. When
+//! [`ExpOptions::pool`] carries a [`RunPool`], builders instead
+//! participate in a two-phase pipeline: a *collect* pass registers every
+//! job (cross-figure dedup by canonical fingerprint), one shared
+//! execution runs the unique cells, and a *render* pass re-invokes the
+//! builders against the shared result map.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::time::Ps;
 use refsim_dram::timing::{Density, FgrMode, Retention};
 use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
 use refsim_os::partition::PartitionPlan;
@@ -15,6 +30,8 @@ use crate::error::RefsimError;
 use crate::faults::FaultPlan;
 use crate::metrics::{gmean_finite, RunMetrics};
 use crate::report::Table;
+use crate::runcache::{job_fingerprint, CacheStats, RunCache};
+use crate::sweep::{run_many_resilient, SweepOptions};
 
 /// A refresh-mitigation scheme as compared in the figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +114,39 @@ pub struct ExpOptions {
     /// engine-equivalence suite — so this knob exists for differential
     /// A/B sweeps and for timing the engines against each other).
     pub engine: EngineKind,
+    /// Persistent run cache every sweep consults. `None` by default so
+    /// unit tests and library callers stay hermetic; the bench CLI
+    /// resolves `REFSIM_CACHE_DIR` / `--cache-dir` / `--no-cache` into
+    /// this field.
+    pub cache: Option<RunCache>,
+    /// Cross-figure execution pool for the unified pipeline. `None`
+    /// (the default) makes every builder execute its own sweep.
+    pub pool: Option<Arc<RunPool>>,
+    /// Accumulated dedup/cache telemetry across every sweep these
+    /// options drove.
+    pub telemetry: Telemetry,
+}
+
+/// Shared, cloneable accumulator of [`CacheStats`] across sweeps.
+#[derive(Clone, Default)]
+pub struct Telemetry(Arc<Mutex<CacheStats>>);
+
+impl Telemetry {
+    /// Folds one sweep's stats into the running total.
+    pub fn add(&self, stats: &CacheStats) {
+        self.0.lock().expect("poisoned").merge(stats);
+    }
+
+    /// A copy of the current totals.
+    pub fn snapshot(&self) -> CacheStats {
+        *self.0.lock().expect("poisoned")
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Telemetry").field(&self.snapshot()).finish()
+    }
 }
 
 impl ExpOptions {
@@ -113,6 +163,9 @@ impl ExpOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             engine: EngineKind::default(),
+            cache: None,
+            pool: None,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -183,6 +236,183 @@ pub fn run_many_checked(jobs: &[Job], threads: usize) -> Vec<Result<RunMetrics, 
         .results
 }
 
+/// Sweep options an [`ExpOptions`] implies: default resilience plus its
+/// persistent cache.
+fn sweep_options(opts: &ExpOptions) -> SweepOptions {
+    SweepOptions {
+        cache: opts.cache.clone(),
+        ..SweepOptions::default()
+    }
+}
+
+/// The execution front every builder routes through: runs `jobs` under
+/// the options' cache and telemetry — or, when [`ExpOptions::pool`] is
+/// set, defers to the pool's collect/serve protocol.
+pub fn run_jobs(opts: &ExpOptions, jobs: &[Job]) -> Vec<Result<RunMetrics, RefsimError>> {
+    if let Some(pool) = &opts.pool {
+        return pool.run(opts, jobs);
+    }
+    let report = run_many_resilient(jobs, opts.threads, &sweep_options(opts))
+        .expect("default sweep options never touch a manifest");
+    opts.telemetry.add(&report.stats);
+    report.results
+}
+
+/// [`run_jobs`] for builders that treat a failed run as fatal
+/// ([`run_many`] semantics).
+///
+/// # Panics
+///
+/// Panics on the first failed job.
+fn run_jobs_unwrap(opts: &ExpOptions, jobs: &[Job]) -> Vec<RunMetrics> {
+    run_jobs(opts, jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("job {i} failed: {e}")))
+        .collect()
+}
+
+/// Zero-valued placeholder metrics the pool hands out during its
+/// collect pass. Every downstream aggregate is safe on them: harmonic /
+/// arithmetic means of an empty task list are 0, `gmean_finite` filters
+/// non-positive speedups, and latency averages come out 0 — and the
+/// collect pass's rendered output is discarded anyway.
+fn placeholder_metrics() -> RunMetrics {
+    RunMetrics {
+        tasks: Vec::new(),
+        sim_time: Ps::ZERO,
+        controller: Default::default(),
+        sched: Default::default(),
+        cpu_period: Ps(1),
+        dram_period: Ps(1),
+    }
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Collect phase (true) registers jobs; serve phase (false) answers
+    /// from `results`.
+    collecting: bool,
+    /// Unique jobs, in first-seen order.
+    jobs: Vec<Job>,
+    /// Canonical fingerprint → index into `jobs`.
+    index: HashMap<u64, usize>,
+    /// Fingerprint → executed outcome.
+    results: HashMap<u64, Result<RunMetrics, RefsimError>>,
+    /// Result cells requested during the collect phase (before dedup).
+    requested: u64,
+}
+
+/// Cross-figure shared execution pool (the unified figure pipeline).
+///
+/// Protocol: build every figure once with the pool installed in
+/// [`ExpOptions::pool`] (the *collect* pass — jobs are registered,
+/// placeholder metrics returned, output discarded), call
+/// [`RunPool::execute`] to run the deduplicated union of all jobs on
+/// one thread pool, then build every figure again (the *render* pass —
+/// cells are served from the shared result map).
+#[derive(Debug)]
+pub struct RunPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl Default for RunPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunPool {
+    /// A fresh pool in its collect phase.
+    pub fn new() -> Self {
+        RunPool {
+            inner: Mutex::new(PoolInner {
+                collecting: true,
+                ..PoolInner::default()
+            }),
+        }
+    }
+
+    /// Number of unique cells registered so far.
+    pub fn unique_jobs(&self) -> usize {
+        self.inner.lock().expect("poisoned").jobs.len()
+    }
+
+    /// Builder entry point (via [`run_jobs`]): registers `jobs` during
+    /// the collect phase, serves their results during the render phase.
+    fn run(&self, opts: &ExpOptions, jobs: &[Job]) -> Vec<Result<RunMetrics, RefsimError>> {
+        let collecting = {
+            let mut inner = self.inner.lock().expect("poisoned");
+            if inner.collecting {
+                inner.requested += jobs.len() as u64;
+                for job in jobs {
+                    let fp = job_fingerprint(&job.cfg, &job.mix);
+                    if !inner.index.contains_key(&fp) {
+                        let at = inner.jobs.len();
+                        inner.jobs.push(job.clone());
+                        inner.index.insert(fp, at);
+                    }
+                }
+            }
+            inner.collecting
+        };
+        if collecting {
+            return jobs.iter().map(|_| Ok(placeholder_metrics())).collect();
+        }
+        jobs.iter()
+            .map(|job| {
+                let fp = job_fingerprint(&job.cfg, &job.mix);
+                let served = self
+                    .inner
+                    .lock()
+                    .expect("poisoned")
+                    .results
+                    .get(&fp)
+                    .cloned();
+                served.unwrap_or_else(|| {
+                    // A cell the collect pass never saw (a builder whose
+                    // job list is not a pure function of its options).
+                    // Run it inline rather than failing the figure.
+                    let report =
+                        run_many_resilient(std::slice::from_ref(job), 1, &sweep_options(opts))
+                            .expect("default sweep options never touch a manifest");
+                    opts.telemetry.add(&report.stats);
+                    let r = report.results.into_iter().next().expect("one job in");
+                    self.inner
+                        .lock()
+                        .expect("poisoned")
+                        .results
+                        .insert(fp, r.clone());
+                    r
+                })
+            })
+            .collect()
+    }
+
+    /// Ends the collect phase: executes the deduplicated union of every
+    /// registered job on one thread pool (consulting `opts.cache`), and
+    /// switches the pool to serving. Telemetry is credited with the
+    /// *requested* cell count, so the dedup factor reflects cross-figure
+    /// sharing, not just intra-sweep sharing.
+    pub fn execute(&self, opts: &ExpOptions) {
+        let (jobs, requested) = {
+            let mut inner = self.inner.lock().expect("poisoned");
+            inner.collecting = false;
+            (std::mem::take(&mut inner.jobs), inner.requested)
+        };
+        let report = run_many_resilient(&jobs, opts.threads, &sweep_options(opts))
+            .expect("default sweep options never touch a manifest");
+        let mut stats = report.stats;
+        stats.requested = requested;
+        stats.deduped = requested.saturating_sub(jobs.len() as u64);
+        opts.telemetry.add(&stats);
+        let mut inner = self.inner.lock().expect("poisoned");
+        for (job, r) in jobs.iter().zip(report.results) {
+            inner.results.insert(job_fingerprint(&job.cfg, &job.mix), r);
+        }
+    }
+}
+
 /// Runs `scheme × workload` and returns harmonic-mean-IPC speedups
 /// normalized to `baseline`, as `speedups[scheme][workload]`, plus the
 /// raw metrics in the same layout.
@@ -211,7 +441,7 @@ fn run_schemes(
             });
         }
     }
-    let metrics = run_many_checked(&jobs, opts.threads);
+    let metrics = run_jobs(opts, &jobs);
     let w = opts.workloads.len();
     let base_idx = all.iter().position(|s| *s == baseline).expect("added");
     let speedups = metrics
@@ -656,7 +886,7 @@ pub fn table02(opts: &ExpOptions) -> Table {
             mix: WorkloadMix::from_groups(b.name(), &[(b, 2)], "solo"),
         });
     }
-    let runs = run_many(&jobs, opts.threads);
+    let runs = run_jobs_unwrap(opts, &jobs);
     let mut t = Table::new(
         "Table 2: benchmark MPKI calibration and workload mixes",
         [
@@ -799,7 +1029,7 @@ pub fn ablation(opts: &ExpOptions) -> Table {
             });
         }
     }
-    let runs = run_many_checked(&jobs, opts.threads);
+    let runs = run_jobs(opts, &jobs);
     let w = opts.workloads.len();
     let chunks: Vec<&[Result<RunMetrics, RefsimError>]> = runs.chunks(w).collect();
     let mut t = Table::new(
@@ -845,7 +1075,7 @@ pub fn robustness_table(opts: &ExpOptions, plan: Option<&FaultPlan>) -> Table {
             });
         }
     }
-    let runs = run_many_checked(&jobs, opts.threads);
+    let runs = run_jobs(opts, &jobs);
     let w = opts.workloads.len();
     let mut t = Table::new(
         "Robustness: retention oracle & fault injection (sum over workloads)",

@@ -18,6 +18,7 @@ pub mod faults;
 pub mod metrics;
 pub mod replay;
 pub mod report;
+pub mod runcache;
 pub mod sanitize;
 pub mod sweep;
 pub mod system;
@@ -30,6 +31,7 @@ pub mod prelude {
     pub use crate::faults::FaultPlan;
     pub use crate::metrics::{gmean, gmean_finite, RunMetrics, TaskMetrics};
     pub use crate::report::Table;
+    pub use crate::runcache::{job_fingerprint, RunCache};
     pub use crate::sanitize::{AuditLevel, ViolationReport};
     pub use crate::system::System;
 }

@@ -23,13 +23,31 @@
 //! `checkpoint_every: None` steers each job through exactly the
 //! boundaries [`System::try_run`] uses, so this runner with default
 //! options is bit-compatible with the plain checked sweep.
+//!
+//! # Deduplication and the run cache
+//!
+//! Identical `(config, mix)` cells among the pending jobs share one
+//! execution: the first occurrence (the *leader*) runs, and its outcome
+//! — success or typed error — fans out to every duplicate, preserving
+//! output order and per-cell error semantics. Soundness rests on the
+//! canonical fingerprint ([`crate::runcache::job_fingerprint`]) covering
+//! *every* semantic knob, so equal fingerprints mean deterministic
+//! duplicates by the replay-proof contract. Dedup is therefore always
+//! on. The *persistent* cache ([`SweepOptions::cache`]) additionally
+//! serves leaders from prior processes' results — except for cells
+//! [`crate::runcache::bypass_reason`] names, which always execute.
+//! With [`SweepOptions::verify_sampled`] set (the default), the first
+//! cache hit of each sweep is re-executed and compared bit-for-bit
+//! (metrics *and* final replay hash) against the stored entry, turning
+//! every warm sweep into a standing audit of the cache's soundness.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use refsim_dram::time::Ps;
 
@@ -38,7 +56,8 @@ use crate::codec::{from_bytes, to_bytes};
 use crate::error::RefsimError;
 use crate::experiment::Job;
 use crate::metrics::RunMetrics;
-use crate::replay::span_boundaries;
+use crate::replay::{span_boundaries, StateHashes};
+use crate::runcache::{bypass_reason, CacheEntry, CacheStats, RunCache};
 use crate::system::System;
 
 /// Options for a resilient sweep.
@@ -56,8 +75,18 @@ pub struct SweepOptions {
     /// Base backoff slept before a retry; doubles per attempt, capped
     /// at one second.
     pub backoff: Duration,
-    /// Test-only fault injection: panic a chosen job mid-run.
+    /// Test-only fault injection: panic a chosen job mid-run. Injection
+    /// targets a job *index*; a duplicate cell deduped onto another
+    /// leader never runs and so never fires its injection.
     pub inject: Option<PanicInjection>,
+    /// Persistent content-addressed run cache. `None` (the default)
+    /// disables persistence; in-process dedup is active regardless.
+    pub cache: Option<RunCache>,
+    /// Re-execute the first cache hit of the sweep and require the
+    /// fresh run to reproduce the entry's metrics and replay hash
+    /// bit-for-bit. On by default; a mismatch is counted in
+    /// [`CacheStats::verify_failures`] and the fresh result wins.
+    pub verify_sampled: bool,
 }
 
 impl Default for SweepOptions {
@@ -68,6 +97,8 @@ impl Default for SweepOptions {
             max_retries: 1,
             backoff: Duration::ZERO,
             inject: None,
+            cache: None,
+            verify_sampled: true,
         }
     }
 }
@@ -96,6 +127,8 @@ pub struct SweepReport {
     pub quarantined: Vec<usize>,
     /// Attempts that resumed from an on-disk checkpoint.
     pub resumed: u64,
+    /// Dedup and run-cache telemetry for this sweep.
+    pub stats: CacheStats,
 }
 
 /// Whether a failed attempt is worth retrying. Only nondeterministic
@@ -218,16 +251,29 @@ fn metrics_path(dir: &Path, job: usize) -> PathBuf {
 
 // ---- per-attempt driver --------------------------------------------------
 
+/// Everything one finished attempt yields.
+struct AttemptOutcome {
+    metrics: RunMetrics,
+    /// The attempt resumed from an on-disk checkpoint.
+    resumed: bool,
+    /// Final replay state hash, computed only when `want_hash` (i.e.
+    /// the result is destined for a cache entry or a verification).
+    hash: Option<u64>,
+    /// Wall-clock nanoseconds this attempt took.
+    wall_nanos: u64,
+}
+
 /// Runs one attempt of `job`, checkpointing at each span boundary when a
 /// sweep directory is configured, resuming from an existing checkpoint
-/// when one is present and importable. Returns the run's metrics and
-/// whether the attempt resumed mid-run.
+/// when one is present and importable.
 fn run_attempt(
     job: &Job,
     job_idx: usize,
     attempt: u32,
     opts: &SweepOptions,
-) -> Result<(RunMetrics, bool), RefsimError> {
+    want_hash: bool,
+) -> Result<AttemptOutcome, RefsimError> {
+    let t0 = Instant::now();
     let cfg = &job.cfg;
     let boundaries = span_boundaries(cfg, opts.checkpoint_every);
     let mut resumed = false;
@@ -276,7 +322,13 @@ fn run_attempt(
     // a crashed sweep; they are deterministic, so `is_retryable` keeps
     // them out of the retry loop.
     sys.finish_audit()?;
-    Ok((sys.collect(), resumed))
+    let hash = want_hash.then(|| StateHashes::of(&sys.export_state()).combined());
+    Ok(AttemptOutcome {
+        metrics: sys.collect(),
+        resumed,
+        hash,
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+    })
 }
 
 // ---- the runner ----------------------------------------------------------
@@ -339,91 +391,237 @@ pub fn run_many_resilient(
     }
 
     let pending: Vec<usize> = (0..n).filter(|&i| results[i].is_none()).collect();
+
+    // In-flight dedup: group pending cells by canonical fingerprint.
+    // The first pending index of each group is its *leader* and the
+    // only cell that executes; the group's outcome fans out to all.
+    let mut leaders: Vec<usize> = Vec::new();
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for &i in &pending {
+        let g = groups.entry(fingerprints[i]).or_default();
+        if g.is_empty() {
+            leaders.push(i);
+        }
+        g.push(i);
+    }
+
+    let mut stats = CacheStats {
+        requested: n as u64,
+        deduped: (pending.len() - leaders.len()) as u64,
+        ..CacheStats::default()
+    };
+
     let results = Mutex::new(results);
     let manifest = Mutex::new(manifest);
     let cursor = AtomicUsize::new(0);
     let retries = AtomicU64::new(0);
     let resumed_count = AtomicU64::new(0);
     let quarantined = Mutex::new(Vec::new());
-    let workers = threads.clamp(1, pending.len().max(1));
+    let stats_mx = Mutex::new(&mut stats);
+    // One sampled verification per sweep: the first hit claims it.
+    let verify_claimed = AtomicBool::new(false);
+    let workers = threads.clamp(1, leaders.len().max(1));
 
     std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let p = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&i) = pending.get(p) else { break };
-                let mut attempt = 0;
-                let outcome: Result<RunMetrics, RefsimError> = loop {
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_attempt(&jobs[i], i, attempt, opts)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        Err(RefsimError::Panicked(panic_message(payload.as_ref())))
-                    });
-                    match r {
-                        Ok((m, was_resumed)) => {
-                            if was_resumed {
-                                resumed_count.fetch_add(1, Ordering::Relaxed);
-                            }
-                            break Ok(m);
-                        }
-                        Err(e) => {
-                            let give_up = !is_retryable(&e) || attempt >= opts.max_retries;
-                            if give_up {
-                                if is_retryable(&e) {
-                                    quarantined.lock().expect("poisoned").push(i);
+            s.spawn(|| {
+                // Retry loop for one leader: returns the attempt result
+                // (with hash/wall when `want_hash`) and whether the cell
+                // exhausted its retry budget on a retryable failure.
+                let run_to_completion =
+                    |i: usize, want_hash: bool| -> (Result<AttemptOutcome, RefsimError>, bool) {
+                        let mut attempt = 0;
+                        loop {
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run_attempt(&jobs[i], i, attempt, opts, want_hash)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                Err(RefsimError::Panicked(panic_message(payload.as_ref())))
+                            });
+                            match r {
+                                Ok(out) => {
+                                    if out.resumed {
+                                        resumed_count.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    return (Ok(out), false);
                                 }
-                                break Err(e);
+                                Err(e) => {
+                                    let retryable = is_retryable(&e);
+                                    if !retryable || attempt >= opts.max_retries {
+                                        return (Err(e), retryable);
+                                    }
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    let backoff = opts
+                                        .backoff
+                                        .saturating_mul(1 << attempt.min(10))
+                                        .min(Duration::from_secs(1));
+                                    if !backoff.is_zero() {
+                                        std::thread::sleep(backoff);
+                                    }
+                                    attempt += 1;
+                                }
                             }
-                            retries.fetch_add(1, Ordering::Relaxed);
-                            let backoff = opts
-                                .backoff
-                                .saturating_mul(1 << attempt.min(10))
-                                .min(Duration::from_secs(1));
-                            if !backoff.is_zero() {
-                                std::thread::sleep(backoff);
+                        }
+                    };
+                let bump = |f: &dyn Fn(&mut CacheStats)| {
+                    f(&mut stats_mx.lock().expect("poisoned"));
+                };
+                loop {
+                    let p = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = leaders.get(p) else { break };
+                    let fp = fingerprints[i];
+
+                    // The persistent cache applies only to cacheable
+                    // cells; audited / fault-injected / debug-knob runs
+                    // must execute for real, every time.
+                    let cache = match &opts.cache {
+                        Some(c) => match bypass_reason(&jobs[i].cfg) {
+                            None => Some(c),
+                            Some(_) => {
+                                bump(&|st| st.bypassed += 1);
+                                None
                             }
-                            attempt += 1;
+                        },
+                        None => None,
+                    };
+
+                    let mut outcome: Option<Result<RunMetrics, RefsimError>> = None;
+                    let mut was_quarantined = false;
+                    if let Some(cache) = cache {
+                        if let Some((entry, sz)) = cache.load(fp) {
+                            let verify = opts.verify_sampled
+                                && !verify_claimed.swap(true, Ordering::Relaxed);
+                            if verify {
+                                // Sampled audit: re-run the cell and hold
+                                // the entry to bit-identity on both the
+                                // metrics and the final replay hash.
+                                bump(&|st| st.executed += 1);
+                                let (r, q) = run_to_completion(i, true);
+                                was_quarantined = q;
+                                outcome = Some(match r {
+                                    Ok(out) => {
+                                        let clean = out.metrics == entry.metrics
+                                            && out.hash == Some(entry.replay_hash);
+                                        if clean {
+                                            bump(&|st| {
+                                                st.hits += 1;
+                                                st.verified += 1;
+                                                st.bytes_read += sz;
+                                            });
+                                        } else {
+                                            // The fresh run wins; the
+                                            // stale entry is overwritten.
+                                            bump(&|st| st.verify_failures += 1);
+                                            store_entry(cache, fp, &out, &stats_mx);
+                                        }
+                                        Ok(out.metrics)
+                                    }
+                                    Err(e) => Err(e),
+                                });
+                            } else {
+                                bump(&|st| {
+                                    st.hits += 1;
+                                    st.bytes_read += sz;
+                                    st.saved_nanos += entry.wall_nanos;
+                                });
+                                outcome = Some(Ok(entry.metrics));
+                            }
+                        } else {
+                            bump(&|st| st.misses += 1);
                         }
                     }
-                };
-                if let Some(dir) = &opts.dir {
-                    let status = match &outcome {
-                        Ok(m) => {
-                            // Persist metrics first so `done` is never
-                            // recorded without its payload.
-                            let ok = fs::write(metrics_path(dir, i), to_bytes(m)).is_ok();
-                            let _ = fs::remove_file(ckpt_path(dir, i));
-                            if ok {
-                                JobStatus::Done
-                            } else {
-                                JobStatus::Failed("metrics not persisted".to_owned())
+                    let outcome = match outcome {
+                        Some(o) => o,
+                        None => {
+                            bump(&|st| st.executed += 1);
+                            let (r, q) = run_to_completion(i, cache.is_some());
+                            was_quarantined = q;
+                            match r {
+                                Ok(out) => {
+                                    if let Some(cache) = cache {
+                                        store_entry(cache, fp, &out, &stats_mx);
+                                    }
+                                    Ok(out.metrics)
+                                }
+                                Err(e) => Err(e),
                             }
                         }
-                        Err(e) => JobStatus::Failed(e.to_string()),
                     };
-                    let mut mf = manifest.lock().expect("poisoned");
-                    mf.status[i] = status;
-                    let _ = mf.store(dir);
+
+                    // Fan the leader's outcome out to every cell of its
+                    // group (the leader included), preserving per-cell
+                    // manifest rows, metrics files, and error clones.
+                    let group = &groups[&fp];
+                    if let Some(dir) = &opts.dir {
+                        let mut mf = manifest.lock().expect("poisoned");
+                        for &j in group {
+                            mf.status[j] = match &outcome {
+                                Ok(m) => {
+                                    // Persist metrics first so `done` is
+                                    // never recorded without its payload.
+                                    let ok = fs::write(metrics_path(dir, j), to_bytes(m)).is_ok();
+                                    let _ = fs::remove_file(ckpt_path(dir, j));
+                                    if ok {
+                                        JobStatus::Done
+                                    } else {
+                                        JobStatus::Failed("metrics not persisted".to_owned())
+                                    }
+                                }
+                                Err(e) => JobStatus::Failed(e.to_string()),
+                            };
+                        }
+                        let _ = mf.store(dir);
+                    }
+                    if was_quarantined {
+                        quarantined.lock().expect("poisoned").extend(group.iter());
+                    }
+                    let mut res = results.lock().expect("poisoned");
+                    for &j in group {
+                        res.as_mut_slice()[j] = Some(outcome.clone());
+                    }
                 }
-                results.lock().expect("poisoned").as_mut_slice()[i] = Some(outcome);
             });
         }
     });
 
     let mut quarantined = quarantined.into_inner().expect("poisoned");
     quarantined.sort_unstable();
+    let results = results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job produced a result"))
+        .collect();
     Ok(SweepReport {
-        results: results
-            .into_inner()
-            .expect("poisoned")
-            .into_iter()
-            .map(|r| r.expect("every job produced a result"))
-            .collect(),
+        results,
         retries: retries.into_inner(),
         quarantined,
         resumed: resumed_count.into_inner(),
+        stats,
     })
+}
+
+/// Persists a freshly executed result as a cache entry, folding byte
+/// counts into the sweep's stats. Store failures are non-fatal: the
+/// result is already in hand, the cache just stays cold.
+fn store_entry(
+    cache: &RunCache,
+    fingerprint: u64,
+    out: &AttemptOutcome,
+    stats_mx: &Mutex<&mut CacheStats>,
+) {
+    let Some(hash) = out.hash else { return };
+    let entry = CacheEntry {
+        fingerprint,
+        replay_hash: hash,
+        wall_nanos: out.wall_nanos,
+        metrics: out.metrics.clone(),
+    };
+    if let Ok(written) = cache.store(&entry) {
+        let mut st = stats_mx.lock().expect("poisoned");
+        st.stores += 1;
+        st.bytes_written += written;
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +709,7 @@ mod tests {
                     attempts: 1,
                     after_spans: 2,
                 }),
+                ..SweepOptions::default()
             },
         )
         .expect("faulted sweep");

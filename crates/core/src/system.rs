@@ -294,6 +294,7 @@ impl System {
                 &audit_scope(&cfg, n as u32),
             )))
         };
+        let skip_overshoot = cfg.debug_skip_overshoot;
         let mut sys = System {
             cfg,
             clock: Ps::ZERO,
@@ -313,7 +314,7 @@ impl System {
             last_report: None,
             comp_buf: Vec::new(),
             trace_buf: Vec::new(),
-            skip_overshoot: Ps::ZERO,
+            skip_overshoot,
             engine_stats: EngineStats::default(),
         };
         if sys.san.is_some() {
