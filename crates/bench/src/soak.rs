@@ -35,6 +35,7 @@ use refsim_core::experiment::{run_many_checked, Job};
 use refsim_core::faults::FaultPlan;
 use refsim_core::report::Table;
 use refsim_core::sanitize::AuditLevel;
+use refsim_dram::backend::BackendKind;
 use refsim_dram::refresh::RefreshPolicyKind;
 use refsim_dram::time::Ps;
 use refsim_dram::timing::{Density, FgrMode, Retention};
@@ -233,14 +234,27 @@ pub fn build_scenario(seed: u64, scale: u32) -> Scenario {
         }),
     };
 
+    // Backend draw comes last so it never perturbs the knobs earlier
+    // seeds already pinned: a quarter of the scenarios run the faults
+    // against the independently written shadow model, which must catch
+    // (or crash on) exactly what the primary does.
+    if rng.gen_range(0..4u32) == 0 {
+        cfg = cfg.with_backend(BackendKind::Shadow);
+    }
+
     let label = format!(
-        "{policy} {density} {retention} {partition:?} {} {}x{}",
+        "{policy} {density} {retention} {partition:?} {} {}x{}{}",
         match sched {
             SchedPolicy::Cfs => "cfs".to_owned(),
             SchedPolicy::RefreshAware { eta_thresh, .. } => format!("ra(η={eta_thresh})"),
         },
         mix.name,
         mix.len(),
+        if cfg.backend == BackendKind::Shadow {
+            " [shadow]"
+        } else {
+            ""
+        },
     );
     Scenario {
         seed,
@@ -462,6 +476,38 @@ mod tests {
                 .validate()
                 .unwrap_or_else(|e| panic!("seed {} invalid: {e}", s.seed));
         }
+    }
+
+    /// Negative control for the backend wiring: a seeded fault plan must
+    /// trip the sanitizer on at least one backend. A fault the shadow
+    /// model silently absorbs while the primary catches it (or vice
+    /// versa) would make every shadow soak slot a blind spot.
+    #[test]
+    fn seeded_fault_trips_a_checker_on_at_least_one_backend() {
+        // Scale must stay at the soak default or finer: coarser scaled
+        // windows make refresh faults legally tolerable (see module doc).
+        let mut s = (0u64..)
+            .map(|i| build_scenario(0xFA_0000 + i, DEFAULT_SCALE))
+            .find(|s| s.fault == FaultClass::Skip)
+            .expect("the generator draws skip faults");
+        if let Some(plan) = s.job.cfg.fault_plan.as_mut() {
+            plan.skip_ppm = 900_000; // pin an aggressive dose
+        }
+        let mut tripped = Vec::new();
+        for kind in [BackendKind::Primary, BackendKind::Shadow] {
+            let job = Job {
+                cfg: s.job.cfg.clone().with_backend(kind),
+                mix: s.job.mix.clone(),
+            };
+            let runs = run_many_checked(std::slice::from_ref(&job), 1);
+            if matches!(runs[0], Err(RefsimError::InvariantViolation(_))) {
+                tripped.push(kind);
+            }
+        }
+        assert!(
+            !tripped.is_empty(),
+            "a 90% refresh-skip plan escaped both backends"
+        );
     }
 
     /// A small soak is deterministic end to end: two runs from the same

@@ -30,7 +30,7 @@
 use std::fmt;
 use std::path::Path;
 
-use refsim_dram::controller::SavedController;
+use refsim_dram::backend::SavedBackend;
 use refsim_dram::time::Ps;
 use refsim_os::bank_alloc::SavedBankAlloc;
 use refsim_os::sched::{SavedScheduler, SchedStats};
@@ -46,8 +46,10 @@ use crate::config::SystemConfig;
 
 /// Magic number opening every checkpoint image.
 pub const MAGIC: [u8; 4] = *b"RFSM";
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. v2 made the per-channel memory
+/// image a tagged [`SavedBackend`] (primary controller or shadow model)
+/// instead of a bare controller image.
+pub const VERSION: u32 = 2;
 
 /// A memory operation awaiting queue space, as saved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,8 +160,9 @@ pub struct SavedSystem {
     pub next_req: u64,
     /// Start of the measured phase.
     pub measure_start: Ps,
-    /// Per-channel memory controllers.
-    pub mcs: Vec<SavedController>,
+    /// Per-channel memory backends (tagged: primary controller or
+    /// shadow model).
+    pub mcs: Vec<SavedBackend>,
     /// Per-core state.
     pub cores: Vec<SavedCore>,
     /// OS task table (parallel to `sims`).

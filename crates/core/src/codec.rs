@@ -20,12 +20,14 @@ use std::fmt;
 use refsim_cpu::cache::{CacheStats, SavedCache, SavedLine};
 use refsim_cpu::core::SavedExecContext;
 use refsim_cpu::hierarchy::{HierStats, SavedHierarchy};
+use refsim_dram::backend::SavedBackend;
 use refsim_dram::bank::{BankPhase, SavedBank, SavedRank};
 use refsim_dram::controller::{SavedController, SavedEntry, SavedPendingRefresh};
 use refsim_dram::geometry::BankId;
 use refsim_dram::integrity::{RetentionViolation, SavedBankTrack, SavedTracker, ViolationKind};
 use refsim_dram::refresh::RefreshOp;
 use refsim_dram::request::{Completion, ReqId};
+use refsim_dram::shadow::{SavedShadow, SavedShadowBank, SavedShadowRank};
 use refsim_dram::stats::ControllerStats;
 use refsim_dram::time::Ps;
 use refsim_os::bank_alloc::{BankAllocStats, SavedBankAlloc};
@@ -949,6 +951,123 @@ impl Snapshot for SavedController {
             refresh_seq: Snapshot::decode(d)?,
             policy_words: Snapshot::decode(d)?,
         })
+    }
+}
+
+impl Snapshot for SavedShadowBank {
+    fn encode(&self, e: &mut Enc) {
+        self.open_row.encode(e);
+        self.last_act.encode(e);
+        self.ready_act.encode(e);
+        self.ready_cas.encode(e);
+        self.ready_pre.encode(e);
+        self.refresh_until.encode(e);
+        self.last_cmd.encode(e);
+        self.rows_refreshed.encode(e);
+        self.activations.encode(e);
+        self.refresh_busy.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(SavedShadowBank {
+            open_row: Snapshot::decode(d)?,
+            last_act: Snapshot::decode(d)?,
+            ready_act: Snapshot::decode(d)?,
+            ready_cas: Snapshot::decode(d)?,
+            ready_pre: Snapshot::decode(d)?,
+            refresh_until: Snapshot::decode(d)?,
+            last_cmd: Snapshot::decode(d)?,
+            rows_refreshed: Snapshot::decode(d)?,
+            activations: Snapshot::decode(d)?,
+            refresh_busy: Snapshot::decode(d)?,
+        })
+    }
+}
+
+impl Snapshot for SavedShadowRank {
+    fn encode(&self, e: &mut Enc) {
+        for a in &self.acts {
+            a.encode(e);
+        }
+        self.act_pos.encode(e);
+        self.read_ready.encode(e);
+        self.refresh_until.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let mut acts = [Ps::ZERO; 4];
+        for a in &mut acts {
+            *a = Snapshot::decode(d)?;
+        }
+        Ok(SavedShadowRank {
+            acts,
+            act_pos: Snapshot::decode(d)?,
+            read_ready: Snapshot::decode(d)?,
+            refresh_until: Snapshot::decode(d)?,
+        })
+    }
+}
+
+impl Snapshot for SavedShadow {
+    fn encode(&self, e: &mut Enc) {
+        self.banks.encode(e);
+        self.ranks.encode(e);
+        self.read_q.encode(e);
+        self.write_q.encode(e);
+        self.draining.encode(e);
+        self.cursor.encode(e);
+        self.data_bus_free.encode(e);
+        self.data_bus_owner.encode(e);
+        self.pending_refresh.encode(e);
+        self.epoch_start.encode(e);
+        self.epoch_bus_busy.encode(e);
+        self.last_utilization.encode(e);
+        self.completions.encode(e);
+        self.stats.encode(e);
+        self.integrity.encode(e);
+        self.refresh_seq.encode(e);
+        self.policy_words.encode(e);
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(SavedShadow {
+            banks: Snapshot::decode(d)?,
+            ranks: Snapshot::decode(d)?,
+            read_q: Snapshot::decode(d)?,
+            write_q: Snapshot::decode(d)?,
+            draining: Snapshot::decode(d)?,
+            cursor: Snapshot::decode(d)?,
+            data_bus_free: Snapshot::decode(d)?,
+            data_bus_owner: Snapshot::decode(d)?,
+            pending_refresh: Snapshot::decode(d)?,
+            epoch_start: Snapshot::decode(d)?,
+            epoch_bus_busy: Snapshot::decode(d)?,
+            last_utilization: Snapshot::decode(d)?,
+            completions: Snapshot::decode(d)?,
+            stats: Snapshot::decode(d)?,
+            integrity: Snapshot::decode(d)?,
+            refresh_seq: Snapshot::decode(d)?,
+            policy_words: Snapshot::decode(d)?,
+        })
+    }
+}
+
+impl Snapshot for SavedBackend {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            SavedBackend::Primary(s) => {
+                e.put_u8(0);
+                s.encode(e);
+            }
+            SavedBackend::Shadow(s) => {
+                e.put_u8(1);
+                s.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match d.get_u8()? {
+            0 => Ok(SavedBackend::Primary(Snapshot::decode(d)?)),
+            1 => Ok(SavedBackend::Shadow(Snapshot::decode(d)?)),
+            v => Err(CodecError::Invalid(format!("backend tag {v}"))),
+        }
     }
 }
 

@@ -3,10 +3,12 @@
 use serde::{Deserialize, Serialize};
 
 use refsim_cpu::core::CoreConfig;
+use refsim_dram::backend::BackendKind;
 use refsim_dram::controller::ControllerConfig;
 use refsim_dram::geometry::Geometry;
 use refsim_dram::mapping::MappingScheme;
 use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::shadow::ShadowConfig;
 use refsim_dram::time::Ps;
 use refsim_dram::timing::{Density, RefreshTiming, Retention, TimingParams};
 use refsim_os::partition::PartitionPlan;
@@ -128,6 +130,17 @@ pub struct SystemConfig {
     /// run cache refuses to serve or store such runs.
     #[serde(default)]
     pub debug_skip_overshoot: Ps,
+    /// Which DRAM timing model sits behind every channel's
+    /// [`refsim_dram::backend::MemoryBackend`] slot. `Primary` — the
+    /// FR-FCFS controller — by default; `Shadow` runs the independently
+    /// written table-driven model used for differential validation.
+    #[serde(default)]
+    pub backend: BackendKind,
+    /// Shadow-model knobs. The only current knob is the deliberate
+    /// refresh-dropping perturbation used as the differential harness's
+    /// negative control; runs with it set are never cached.
+    #[serde(default)]
+    pub shadow: ShadowConfig,
 }
 
 impl SystemConfig {
@@ -161,6 +174,8 @@ impl SystemConfig {
             engine: EngineKind::default(),
             step: default_step(),
             debug_skip_overshoot: Ps::ZERO,
+            backend: BackendKind::Primary,
+            shadow: ShadowConfig::default(),
         }
     }
 
@@ -269,6 +284,22 @@ impl SystemConfig {
     /// see [`SystemConfig::debug_skip_overshoot`]).
     pub fn with_debug_skip_overshoot(mut self, extra: Ps) -> Self {
         self.debug_skip_overshoot = extra;
+        self
+    }
+
+    /// Selects the DRAM timing model behind every channel (see
+    /// [`SystemConfig::backend`]).
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the deliberate shadow-model refresh-dropping perturbation
+    /// (differential-harness negative control; see
+    /// [`SystemConfig::shadow`]). Implies nothing unless the shadow
+    /// backend is selected.
+    pub fn with_shadow_drop_every(mut self, n: u64) -> Self {
+        self.shadow.drop_refresh_every = n;
         self
     }
 

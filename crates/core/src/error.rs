@@ -80,6 +80,12 @@ pub enum RefsimError {
     /// violation (see [`crate::sanitize`]). The run's numbers are not
     /// trustworthy, but the simulation itself did not crash.
     InvariantViolation(Box<crate::sanitize::ViolationReport>),
+    /// The primary and shadow memory backends disagreed beyond the
+    /// calibrated tolerances on the same workload (see
+    /// [`crate::diffval`]). The report carries every checked metric with
+    /// both values, the divergence class, and — when the triage pass
+    /// could attribute it — the first divergent quantum.
+    BackendDivergence(Box<crate::diffval::DivergenceReport>),
 }
 
 impl fmt::Display for RefsimError {
@@ -103,6 +109,9 @@ impl fmt::Display for RefsimError {
             RefsimError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
             RefsimError::InvariantViolation(report) => {
                 write!(f, "invariant violation: {report}")
+            }
+            RefsimError::BackendDivergence(report) => {
+                write!(f, "backend divergence: {report}")
             }
         }
     }

@@ -11,6 +11,7 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod config;
+pub mod diffval;
 pub mod error;
 pub mod experiment;
 pub mod fastmap;

@@ -478,6 +478,17 @@ mod tests {
     }
 
     #[test]
+    fn resumed_replay_is_clean_on_the_shadow_backend() {
+        // Exercises the shadow model's save/restore through the full
+        // checkpoint codec path — a precondition for differential
+        // triage, which assumes either backend can self-replay.
+        let cfg = tiny_cfg(7).with_backend(refsim_dram::backend::BackendKind::Shadow);
+        let opts = ReplayOptions::for_config(&cfg);
+        let r = replay_verify_resumed(&cfg, &tiny_mix(), &opts).expect("run");
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
     fn perturbation_is_attributed_to_quantum_and_component() {
         let cfg = tiny_cfg(3);
         let opts = ReplayOptions::for_config(&cfg);

@@ -54,6 +54,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use refsim_dram::backend::BackendKind;
 use refsim_dram::refresh::RefreshPolicyKind;
 use refsim_dram::time::Ps;
 use refsim_dram::timing::{Density, FgrMode, Retention};
@@ -75,8 +76,9 @@ pub const CACHE_VERSION: u32 = 1;
 /// Schema salt folded into every fingerprint *and* stored in every
 /// entry. Bump on any semantic change the config encoding cannot
 /// express (e.g. a simulator behavior fix): all prior entries read as
-/// misses.
-pub const CACHE_SCHEMA: u32 = 1;
+/// misses. v2: the backend-selection and shadow-perturbation knobs
+/// joined the fingerprint preimage.
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// Environment variable naming the shared cache directory.
 pub const CACHE_DIR_ENV: &str = "REFSIM_CACHE_DIR";
@@ -236,6 +238,13 @@ pub fn fingerprint_bytes(cfg: &SystemConfig, mix: &WorkloadMix) -> Vec<u8> {
     });
     put_ps(&mut e, cfg.step);
     put_ps(&mut e, cfg.debug_skip_overshoot);
+    // The DRAM timing model behind the trait: cached results from
+    // different backends must never alias even when their metrics agree.
+    e.put_u8(match cfg.backend {
+        BackendKind::Primary => 0,
+        BackendKind::Shadow => 1,
+    });
+    e.put_u64(cfg.shadow.drop_refresh_every);
 
     // The mix: task list only. Benchmarks are encoded by name, which is
     // stable against enum reordering; the mix's display name and
@@ -269,6 +278,9 @@ pub fn bypass_reason(cfg: &SystemConfig) -> Option<&'static str> {
     }
     if cfg.debug_skip_overshoot > Ps::ZERO {
         return Some("debug skip-overshoot set");
+    }
+    if cfg.shadow.is_perturbed() {
+        return Some("shadow-model perturbation set");
     }
     None
 }

@@ -15,7 +15,8 @@ use std::collections::HashMap;
 
 use refsim_cpu::core::ExecContext;
 use refsim_cpu::hierarchy::{CacheHierarchy, HierOutcome};
-use refsim_dram::controller::{MemoryController, TraceEntry};
+use refsim_dram::backend::{build_backend, MemoryBackend};
+use refsim_dram::controller::TraceEntry;
 use refsim_dram::mapping::AddressMapping;
 use refsim_dram::refresh::BusyForecast;
 use refsim_dram::request::{Completion, MemRequest, ReqId, ReqKind};
@@ -123,7 +124,7 @@ struct TaskSnapshot {
 pub struct System {
     cfg: SystemConfig,
     clock: Ps,
-    mcs: Vec<MemoryController>,
+    mcs: Vec<Box<dyn MemoryBackend>>,
     cores: Vec<CoreSlot>,
     os_tasks: Vec<OsTask>,
     sims: Vec<TaskSim>,
@@ -231,14 +232,16 @@ impl System {
             .fault_plan
             .as_ref()
             .map(|p| p.expand(geometry.banks_per_channel(), geometry.rows_per_bank));
-        let mcs = (0..cfg.channels)
+        let mcs: Vec<Box<dyn MemoryBackend>> = (0..cfg.channels)
             .map(|_| {
-                let mut mc = MemoryController::new(
+                let mut mc = build_backend(
+                    cfg.backend,
                     mapping,
                     cfg.timing_params(),
                     refresh_timing,
                     cfg.refresh_policy,
                     cfg.controller,
+                    cfg.shadow,
                 );
                 if let Some(f) = &faults {
                     mc.inject_faults(f.clone());
@@ -246,6 +249,14 @@ impl System {
                 mc
             })
             .collect();
+        // Geometry handshake: the backend must agree on the topology the
+        // OS allocator and address mapping were derived from (the
+        // misalignment pitfall this trait exists to close).
+        for mc in &mcs {
+            mc.descriptor()
+                .validate_geometry(&geometry)
+                .map_err(RefsimError::InvalidConfig)?;
+        }
         let alloc = BankAwareAllocator::new(mapping);
         let total_banks = geometry.total_banks();
         let part = plan(
@@ -336,9 +347,16 @@ impl System {
         self.clock
     }
 
-    /// Channel-0 memory controller (read access for reports/examples).
-    pub fn controller(&self) -> &MemoryController {
-        &self.mcs[0]
+    /// Channel-0 memory backend (read access for reports/examples).
+    pub fn controller(&self) -> &dyn MemoryBackend {
+        &*self.mcs[0]
+    }
+
+    /// Read access to every channel's memory backend, in channel order
+    /// (the differential validator folds protocol digests across all
+    /// channels, not just channel 0).
+    pub fn backends(&self) -> impl Iterator<Item = &dyn MemoryBackend> + '_ {
+        self.mcs.iter().map(|m| &**m)
     }
 
     /// The page allocator (for allocation statistics).
@@ -777,7 +795,7 @@ impl System {
             clock: self.clock,
             next_req: self.next_req,
             measure_start: self.measure_start,
-            mcs: self.mcs.iter().map(|mc| mc.save_state()).collect(),
+            mcs: self.mcs.iter().map(|mc| mc.save_backend()).collect(),
             cores,
             tasks,
             sims,
@@ -836,7 +854,7 @@ impl System {
             ));
         }
         for (mc, saved) in self.mcs.iter_mut().zip(&s.mcs) {
-            mc.restore_state(saved)?;
+            mc.restore_backend(saved)?;
         }
         for (core, saved) in self.cores.iter_mut().zip(&s.cores) {
             if let Some(t) = saved.current {
@@ -1731,6 +1749,42 @@ mod tests {
             assert!(
                 report.is_clean() && report.total == 0,
                 "{policy:?} clean run flagged: {report}"
+            );
+        }
+    }
+
+    /// The shadow backend must satisfy the same full-audit contract as
+    /// the primary on every refresh policy: the sanitizer's checkers
+    /// (tRFC overlap, refresh completeness/debt, cross-layer
+    /// conservation) are backend-agnostic oracles.
+    #[test]
+    fn clean_full_audit_shadow_runs_are_quiet_for_every_policy() {
+        use refsim_dram::backend::BackendKind;
+        use refsim_dram::timing::FgrMode;
+        let policies = [
+            RefreshPolicyKind::NoRefresh,
+            RefreshPolicyKind::AllBank,
+            RefreshPolicyKind::PerBankRoundRobin,
+            RefreshPolicyKind::PerBankSequential,
+            RefreshPolicyKind::OooPerBank,
+            RefreshPolicyKind::Fgr(FgrMode::X2),
+            RefreshPolicyKind::Adaptive,
+            RefreshPolicyKind::Elastic,
+        ];
+        for policy in policies {
+            let cfg = quick(SystemConfig::table1())
+                .with_backend(BackendKind::Shadow)
+                .with_refresh(policy)
+                .with_audit(AuditLevel::Full);
+            let mut sys = System::new(cfg, &small_mix());
+            let m = sys
+                .try_run()
+                .unwrap_or_else(|e| panic!("shadow {policy:?}: {e}"));
+            assert!(m.controller.reads_completed > 0, "{policy:?} did no work");
+            let report = sys.violation_report().expect("audited run has a report");
+            assert!(
+                report.is_clean() && report.total == 0,
+                "shadow {policy:?} clean run flagged: {report}"
             );
         }
     }

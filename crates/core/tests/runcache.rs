@@ -126,7 +126,7 @@ fn duplicated_erroring_cell_fans_out_the_error() {
 #[test]
 fn fingerprint_matches_golden_hash() {
     let job = tiny_job(0xA5A5);
-    assert_eq!(job_fingerprint(&job.cfg, &job.mix), 0xbcec_28f2_c62d_8398);
+    assert_eq!(job_fingerprint(&job.cfg, &job.mix), 0x7afc_7685_abbb_351b);
 }
 
 proptest! {
@@ -134,7 +134,7 @@ proptest! {
 
     /// Any single semantic knob change must move the fingerprint.
     #[test]
-    fn fingerprint_tracks_every_semantic_knob(knob in 0usize..8, v in 1u64..1000) {
+    fn fingerprint_tracks_every_semantic_knob(knob in 0usize..10, v in 1u64..1000) {
         let base = tiny_job(9);
         let mut cfg = base.cfg.clone();
         match knob {
@@ -169,6 +169,14 @@ proptest! {
             }
             6 => cfg.measure += Ps(v),
             7 => cfg.warmup += Ps(v),
+            8 => {
+                cfg = cfg.with_backend(refsim_dram::backend::BackendKind::Shadow);
+            }
+            9 => {
+                // The perturbation knob bypasses the cache outright, but the
+                // fingerprint must still move so stale manifests can't alias.
+                cfg = cfg.with_shadow_drop_every(1 + v);
+            }
             _ => unreachable!(),
         }
         prop_assert_ne!(

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod bank;
 pub mod controller;
 pub mod error;
@@ -56,12 +57,16 @@ pub mod mapping;
 pub mod power;
 pub mod refresh;
 pub mod request;
+pub mod shadow;
 pub mod stats;
 pub mod time;
 pub mod timing;
 
 /// Convenient glob-import of the crate's commonly used types.
 pub mod prelude {
+    pub use crate::backend::{
+        build_backend, BackendDescriptor, BackendKind, MemoryBackend, SavedBackend,
+    };
     pub use crate::controller::{ControllerConfig, MemoryController, QueueFull};
     pub use crate::error::{ControllerSnapshot, DramError};
     pub use crate::geometry::{BankId, Geometry, Location};
@@ -73,6 +78,7 @@ pub mod prelude {
     pub use crate::power::{energy, EnergyBreakdown, PowerParams};
     pub use crate::refresh::{BusyForecast, RefreshPolicyKind};
     pub use crate::request::{Completion, MemRequest, ReqId, ReqKind};
+    pub use crate::shadow::{SavedShadow, ShadowConfig, ShadowController};
     pub use crate::stats::ControllerStats;
     pub use crate::time::Ps;
     pub use crate::timing::{Density, FgrMode, RefreshTiming, Retention, TimingParams};
