@@ -23,6 +23,7 @@ use refsim_core::diffval::{cross_validate, DivergenceClass, Tolerances, POLICY_M
 use refsim_core::error::RefsimError;
 use refsim_core::experiment::ExpOptions;
 use refsim_core::report::Table;
+use refsim_core::vfs::{self, StdVfs};
 use refsim_dram::refresh::RefreshPolicyKind;
 
 #[derive(Debug)]
@@ -200,7 +201,13 @@ fn main() {
         println!("{table}");
     }
     if violations > 0 {
-        if let Err(e) = std::fs::write(&args.report, &report_body) {
+        // Atomic publish: CI pulls this as an artifact, and a torn
+        // half-report is worse than none.
+        if let Err(e) = vfs::write_atomic(
+            &StdVfs,
+            std::path::Path::new(&args.report),
+            report_body.as_bytes(),
+        ) {
             eprintln!("could not write {}: {e}", args.report);
         } else {
             eprintln!("divergence report written to {}", args.report);

@@ -292,11 +292,14 @@ fn main() {
     }
     let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
-    // Write-then-rename so a concurrent reader (or a crash mid-write)
+    // Atomic publish so a concurrent reader (or a crash mid-write)
     // never observes a truncated artifact.
-    let tmp = format!("{out}.{}.tmp", std::process::id());
-    std::fs::write(&tmp, json).expect("write JSON artifact");
-    std::fs::rename(&tmp, &out).expect("publish JSON artifact");
+    refsim_core::vfs::write_atomic(
+        &refsim_core::vfs::StdVfs,
+        std::path::Path::new(&out),
+        json.as_bytes(),
+    )
+    .expect("publish JSON artifact");
     println!("\nwrote {out}");
 
     if check {

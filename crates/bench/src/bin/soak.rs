@@ -5,7 +5,10 @@
 //! Exit status is non-zero iff a clean scenario violated an invariant
 //! or any scenario crashed — `missed` negative controls only warn.
 
-use refsim_bench::soak::{replay_seed, run_soak, FaultClass, Outcome, SoakOptions};
+use refsim_bench::soak::{
+    build_scenario, replay_seed, run_crash_scenario, run_soak, FaultClass, Outcome, ScenarioClass,
+    SoakOptions,
+};
 use refsim_core::error::RefsimError;
 use refsim_core::report::Table;
 
@@ -94,6 +97,19 @@ fn main() {
 
 /// Reruns one scenario seed and prints full violation detail.
 fn replay(seed: u64, scale: u32) -> i32 {
+    // A crashmat seed replays through the crash-point harness, not the
+    // sanitizer pipeline; its `error` carries a `crashmat` reproducer
+    // line for byte-level triage.
+    let scenario = build_scenario(seed, scale);
+    if matches!(scenario.class, ScenarioClass::Crashmat { .. }) {
+        let r = run_crash_scenario(&scenario);
+        println!("seed {}: {} — {}", r.seed, r.label, r.outcome.label());
+        if let Some(e) = &r.error {
+            println!("  {e}");
+        }
+        return i32::from(matches!(r.outcome, Outcome::Violated | Outcome::Crashed));
+    }
+
     let (s, run) = replay_seed(seed, scale);
     println!("seed {}: {} fault={}", s.seed, s.label, s.fault.label());
     match run {

@@ -35,6 +35,9 @@ use refsim_core::experiment::{run_many_checked, Job};
 use refsim_core::faults::FaultPlan;
 use refsim_core::report::Table;
 use refsim_core::sanitize::AuditLevel;
+use refsim_core::vfs::crashtest::{
+    probe, reference_rows, run_point, CrashScenario, FaultMode, Verdict,
+};
 use refsim_dram::backend::BackendKind;
 use refsim_dram::refresh::RefreshPolicyKind;
 use refsim_dram::time::Ps;
@@ -115,6 +118,24 @@ impl Outcome {
     }
 }
 
+/// Which harness a soak scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioClass {
+    /// Invariant-sanitizer chaos run (the original soak draw).
+    Sanitizer,
+    /// One crash point of the durability matrix: the crashtest tiny
+    /// sweep behind a fault-injecting filesystem (`bench --bin
+    /// crashmat` enumerates the same points exhaustively).
+    Crashmat {
+        /// The I/O fault injected at the drawn operation index.
+        mode: FaultMode,
+        /// Salt reduced modulo the probed operation count to pick the
+        /// crash point, so every index stays reachable as the I/O
+        /// sequence evolves across releases.
+        point_salt: u64,
+    },
+}
+
 /// One fully derived scenario: the seed is the identity, everything
 /// else is a pure function of it (plus the shared time scale).
 #[derive(Debug, Clone)]
@@ -123,6 +144,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Injected fault class.
     pub fault: FaultClass,
+    /// Which harness the scenario runs.
+    pub class: ScenarioClass,
     /// Human-readable knob summary for the report row.
     pub label: String,
     /// The job to run.
@@ -242,6 +265,35 @@ pub fn build_scenario(seed: u64, scale: u32) -> Scenario {
         cfg = cfg.with_backend(BackendKind::Shadow);
     }
 
+    // The durability draw is appended after every sanitizer knob for
+    // the same reason: one scenario in eight trades its sanitizer run
+    // for a single crash point of the vfs crash matrix, exercising a
+    // random I/O fault mode at a random operation index.
+    let class = if rng.gen_range(0..8u32) == 0 {
+        const MODES: [FaultMode; 5] = [
+            FaultMode::Crash,
+            FaultMode::Enospc,
+            FaultMode::TornWrite,
+            FaultMode::Interrupt,
+            FaultMode::CorruptWrite,
+        ];
+        ScenarioClass::Crashmat {
+            mode: MODES[rng.gen_range(0..MODES.len())],
+            point_salt: rng.gen(),
+        }
+    } else {
+        ScenarioClass::Sanitizer
+    };
+    if let ScenarioClass::Crashmat { mode, .. } = class {
+        return Scenario {
+            seed,
+            fault: FaultClass::None,
+            class,
+            label: format!("crashmat {mode}"),
+            job: Job { cfg, mix },
+        };
+    }
+
     let label = format!(
         "{policy} {density} {retention} {partition:?} {} {}x{}{}",
         match sched {
@@ -259,6 +311,7 @@ pub fn build_scenario(seed: u64, scale: u32) -> Scenario {
     Scenario {
         seed,
         fault,
+        class: ScenarioClass::Sanitizer,
         label,
         job: Job { cfg, mix },
     }
@@ -297,6 +350,8 @@ pub struct ScenarioResult {
     pub seed: u64,
     /// Injected fault class.
     pub fault: FaultClass,
+    /// Which harness the scenario ran.
+    pub class: ScenarioClass,
     /// Knob summary.
     pub label: String,
     /// Classified outcome.
@@ -355,6 +410,12 @@ impl SoakReport {
                 format!("{caught}/{total}"),
             ]);
         }
+        let crash = self
+            .results
+            .iter()
+            .filter(|r| matches!(r.class, ScenarioClass::Crashmat { .. }))
+            .count();
+        t.push(["crashmat points".to_owned(), crash.to_string()]);
         t
     }
 
@@ -385,16 +446,90 @@ pub fn build_scenarios(opts: &SoakOptions) -> Vec<Scenario> {
 
 /// Runs the full soak: derive, run (panic-isolated, in parallel),
 /// classify. Deterministic for a fixed `SoakOptions`.
+///
+/// Sanitizer scenarios run batched through the sweep runner; crashmat
+/// scenarios each drive the crash-point harness standalone (the
+/// harness is internally single-threaded so its I/O-operation indices
+/// stay deterministic).
 pub fn run_soak(opts: &SoakOptions) -> SoakReport {
     let scenarios = build_scenarios(opts);
-    let jobs: Vec<Job> = scenarios.iter().map(|s| s.job.clone()).collect();
-    let runs = run_many_checked(&jobs, opts.threads);
-    let results = scenarios
-        .into_iter()
-        .zip(runs)
-        .map(|(s, run)| classify(s, &run))
+    let sanitizer: Vec<usize> = (0..scenarios.len())
+        .filter(|&i| scenarios[i].class == ScenarioClass::Sanitizer)
         .collect();
-    SoakReport { results }
+    let jobs: Vec<Job> = sanitizer
+        .iter()
+        .map(|&i| scenarios[i].job.clone())
+        .collect();
+    let runs = run_many_checked(&jobs, opts.threads);
+
+    let mut slots: Vec<Option<ScenarioResult>> = scenarios.iter().map(|_| None).collect();
+    for (&i, run) in sanitizer.iter().zip(&runs) {
+        slots[i] = Some(classify(scenarios[i].clone(), run));
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        if slots[i].is_none() {
+            slots[i] = Some(run_crash_scenario(s));
+        }
+    }
+    SoakReport {
+        results: slots
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect(),
+    }
+}
+
+/// Runs one crashmat scenario: probe the tiny crash scenario's I/O
+/// sequence, reduce the salt to a concrete operation index, inject the
+/// drawn fault there, and map the harness verdict onto soak outcomes —
+/// clean resume is a `pass`, graceful degradation is a `caught`
+/// negative control, a contract violation is `VIOLATED`, and any
+/// harness error is a crash. Violations carry a `crashmat` reproducer
+/// command line in `error`.
+pub fn run_crash_scenario(s: &Scenario) -> ScenarioResult {
+    let ScenarioClass::Crashmat { mode, point_salt } = s.class else {
+        panic!("run_crash_scenario takes a crashmat scenario");
+    };
+    let scn = CrashScenario::tiny(s.seed);
+    let root = std::env::temp_dir().join(format!(
+        "refsim-soak-crash-{}-{:016x}",
+        std::process::id(),
+        s.seed
+    ));
+    let outcome = (|| -> Result<(u64, Verdict), String> {
+        let reference = reference_rows(&scn).map_err(|e| e.to_string())?;
+        let (total, _) = probe(&scn, &root).map_err(|e| e.to_string())?;
+        let k = point_salt % total.max(1);
+        Ok((k, run_point(&scn, &root, k, mode, &reference).verdict))
+    })();
+    let _ = std::fs::remove_dir_all(&root);
+    let (outcome, label, error) = match outcome {
+        Ok((k, Verdict::Resumed)) => (Outcome::Pass, format!("crashmat {mode} @op {k}"), None),
+        Ok((k, Verdict::Degraded(why))) => (
+            Outcome::Caught,
+            format!("crashmat {mode} @op {k}: {why}"),
+            None,
+        ),
+        Ok((k, Verdict::Violation(why))) => (
+            Outcome::Violated,
+            format!("crashmat {mode} @op {k}"),
+            Some(format!(
+                "{why} — reproduce: cargo run --release -p refsim-bench --bin crashmat -- \
+                 --scenario tiny --mode {mode} --point {k} --seed {}",
+                s.seed
+            )),
+        ),
+        Err(e) => (Outcome::Crashed, format!("crashmat {mode}"), Some(e)),
+    };
+    ScenarioResult {
+        seed: s.seed,
+        fault: FaultClass::None,
+        class: s.class,
+        label,
+        outcome,
+        by_checker: Vec::new(),
+        error,
+    }
 }
 
 /// Classifies one scenario run against its fault expectation.
@@ -420,6 +555,7 @@ fn classify(
     ScenarioResult {
         seed: s.seed,
         fault: s.fault,
+        class: s.class,
         label: s.label,
         outcome,
         by_checker,
@@ -507,6 +643,34 @@ mod tests {
         assert!(
             !tripped.is_empty(),
             "a 90% refresh-skip plan escaped both backends"
+        );
+    }
+
+    /// The durability draw produces crashmat scenarios, and replaying
+    /// one is deterministic: the same seed maps to the same fault mode,
+    /// the same crash point, and the same outcome — and that outcome
+    /// honors the durability contract.
+    #[test]
+    fn crashmat_scenarios_are_drawn_and_replay_deterministically() {
+        let s = (0u64..)
+            .map(|i| build_scenario(0xC4A5_0000 + i, DEFAULT_SCALE))
+            .find(|s| matches!(s.class, ScenarioClass::Crashmat { .. }))
+            .expect("the generator draws crashmat scenarios");
+        let a = run_crash_scenario(&s);
+        let b = run_crash_scenario(&s);
+        assert_eq!(a.outcome, b.outcome);
+        // Degradation notes may embed unique tmp-file names; the drawn
+        // mode and operation index must replay identically.
+        assert_eq!(
+            a.label.split(':').next(),
+            b.label.split(':').next(),
+            "fault mode and crash point must be stable"
+        );
+        assert!(
+            !matches!(a.outcome, Outcome::Violated | Outcome::Crashed),
+            "crash point must satisfy the durability contract: {} {:?}",
+            a.label,
+            a.error
         );
     }
 

@@ -43,6 +43,7 @@ use refsim_cpu::hierarchy::SavedHierarchy;
 
 use crate::codec::{self, CodecError, Dec, Enc, Snapshot};
 use crate::config::SystemConfig;
+use crate::vfs::{self, StdVfs, Vfs, VfsError};
 
 /// Magic number opening every checkpoint image.
 pub const MAGIC: [u8; 4] = *b"RFSM";
@@ -359,8 +360,19 @@ pub enum CheckpointError {
     Codec(CodecError),
     /// The decoded state was rejected by the target system.
     Import(String),
-    /// Filesystem failure reading or writing the image.
-    Io(String),
+    /// Filesystem failure reading or writing the image, classified by
+    /// operation, path, and cause.
+    Io(VfsError),
+}
+
+impl CheckpointError {
+    /// The underlying filesystem error, when this is an I/O failure.
+    pub fn as_io(&self) -> Option<&VfsError> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CheckpointError {
@@ -384,7 +396,7 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Codec(e) => write!(f, "checkpoint payload: {e}"),
             CheckpointError::Import(why) => write!(f, "checkpoint rejected on import: {why}"),
-            CheckpointError::Io(why) => write!(f, "checkpoint i/o: {why}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
         }
     }
 }
@@ -393,6 +405,7 @@ impl std::error::Error for CheckpointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CheckpointError::Codec(e) => Some(e),
+            CheckpointError::Io(e) => Some(e),
             _ => None,
         }
     }
@@ -495,7 +508,8 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Writes the image to `path` crash-safely: the bytes land in a
+    /// Writes the image to `path` crash-safely via
+    /// [`crate::vfs::write_atomic`]: the bytes land in a uniquely named
     /// `.tmp` sibling first and are renamed into place, so a crash
     /// mid-write can never leave a torn file at `path`.
     ///
@@ -503,12 +517,16 @@ impl Checkpoint {
     ///
     /// [`CheckpointError::Io`] on filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())
-            .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
-        std::fs::rename(&tmp, path)
-            .map_err(|e| CheckpointError::Io(format!("rename to {}: {e}", path.display())))?;
-        Ok(())
+        self.save_with(&StdVfs, path)
+    }
+
+    /// [`Checkpoint::save`] through an explicit filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure.
+    pub fn save_with(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), CheckpointError> {
+        vfs::write_atomic(vfs, path, &self.to_bytes()).map_err(CheckpointError::Io)
     }
 
     /// Reads and verifies an image from `path`.
@@ -518,8 +536,17 @@ impl Checkpoint {
     /// [`CheckpointError`] on filesystem failure or any parse/verify
     /// failure of [`Checkpoint::from_bytes`].
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Self::load_with(&StdVfs, path)
+    }
+
+    /// [`Checkpoint::load`] through an explicit filesystem.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on filesystem failure or any parse/verify
+    /// failure of [`Checkpoint::from_bytes`].
+    pub fn load_with(vfs: &dyn Vfs, path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = vfs.read(path).map_err(CheckpointError::Io)?;
         Self::from_bytes(&bytes)
     }
 }
@@ -659,10 +686,17 @@ mod tests {
             state: tiny_state(),
         };
         cp.save(&path).expect("save");
-        assert!(
-            !path.with_extension("tmp").exists(),
-            "tmp must be renamed away"
-        );
+        let litter = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp")
+            })
+            .count();
+        assert_eq!(litter, 0, "tmp must be renamed away");
         let back = Checkpoint::load(&path).expect("load");
         assert_eq!(back, cp);
         std::fs::remove_file(&path).ok();

@@ -23,6 +23,7 @@ pub mod runcache;
 pub mod sanitize;
 pub mod sweep;
 pub mod system;
+pub mod vfs;
 
 /// Commonly used types.
 pub mod prelude {
@@ -35,4 +36,5 @@ pub mod prelude {
     pub use crate::runcache::{job_fingerprint, RunCache};
     pub use crate::sanitize::{AuditLevel, ViolationReport};
     pub use crate::system::System;
+    pub use crate::vfs::{FaultSchedule, FaultVfs, StdVfs, Vfs, VfsError, VfsErrorKind};
 }

@@ -52,7 +52,7 @@
 //! soak/chaos harnesses and sanitizer sweeps always execute for real.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use refsim_dram::backend::BackendKind;
 use refsim_dram::refresh::RefreshPolicyKind;
@@ -68,6 +68,7 @@ use crate::codec::{self, CodecError, Dec, Enc, Snapshot};
 use crate::config::{EngineKind, SystemConfig};
 use crate::metrics::RunMetrics;
 use crate::sanitize::AuditLevel;
+use crate::vfs::{self, std_vfs, Vfs, VfsError, VfsErrorKind};
 
 /// Magic number opening every cache entry.
 pub const CACHE_MAGIC: [u8; 4] = *b"RFSC";
@@ -365,21 +366,55 @@ fn decode_all<T: Snapshot>(bytes: &[u8]) -> Result<T, CodecError> {
 
 // ---- the cache -----------------------------------------------------------
 
-/// Monotonic discriminator for temp-file names, so concurrent stores
-/// within one process never collide.
-static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-
-/// Handle to a content-addressed run-cache directory. Cloneable and
-/// cheap; the directory is created lazily on the first store.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunCache {
-    dir: PathBuf,
+/// What a cache probe found, with the miss cause classified so
+/// telemetry (and the crash-matrix harness) can tell "never ran" from
+/// "ran but the entry rotted" from "the disk is failing".
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// A valid entry, with its on-disk size in bytes. Boxed: an entry
+    /// carries full run metrics, and the other arms are near-empty.
+    Hit(Box<CacheEntry>, u64),
+    /// No entry exists for the fingerprint.
+    Absent,
+    /// An entry exists but is torn, corrupt, version-skewed, or
+    /// mislabeled; it has been quarantined under a `.run.quarantine`
+    /// name and the cell re-runs.
+    Corrupt,
+    /// The entry could not be read at all (I/O failure, not ENOENT).
+    Io(VfsError),
 }
 
+/// Handle to a content-addressed run-cache directory. Cloneable and
+/// cheap; the directory is created lazily on the first store. Equality
+/// compares the directory only — two handles over the same directory
+/// are the same cache regardless of the filesystem layer in front.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+impl PartialEq for RunCache {
+    fn eq(&self, other: &Self) -> bool {
+        self.dir == other.dir
+    }
+}
+
+impl Eq for RunCache {}
+
 impl RunCache {
-    /// A cache rooted at `dir`.
+    /// A cache rooted at `dir`, on the real filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        RunCache { dir: dir.into() }
+        RunCache::with_vfs(dir, std_vfs())
+    }
+
+    /// A cache rooted at `dir` doing its I/O through `vfs` — the
+    /// fault-injection seam used by the crash-matrix harness.
+    pub fn with_vfs(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Self {
+        RunCache {
+            dir: dir.into(),
+            vfs,
+        }
     }
 
     /// The cache named by [`CACHE_DIR_ENV`], or `None` when the
@@ -400,40 +435,54 @@ impl RunCache {
         self.dir.join(format!("{fingerprint:016x}.run"))
     }
 
-    /// Loads the entry for `fingerprint`, returning it with its on-disk
-    /// size. Missing, torn, corrupt, version-skewed, or mislabeled
-    /// entries (stored fingerprint ≠ requested) are all misses.
-    pub fn load(&self, fingerprint: u64) -> Option<(CacheEntry, u64)> {
-        let bytes = std::fs::read(self.entry_path(fingerprint)).ok()?;
-        let entry = CacheEntry::from_bytes(&bytes)?;
-        if entry.fingerprint != fingerprint {
-            return None;
+    /// Probes the cache for `fingerprint`, classifying the outcome.
+    /// Torn, corrupt, version-skewed, or mislabeled entries (stored
+    /// fingerprint ≠ requested) are quarantined in place under a
+    /// reproducer-grade `<fingerprint>.run.quarantine` name so the
+    /// damaged bytes survive for triage while the slot frees up for the
+    /// re-run's store.
+    pub fn lookup(&self, fingerprint: u64) -> CacheLookup {
+        let path = self.entry_path(fingerprint);
+        let bytes = match self.vfs.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind == VfsErrorKind::NotFound => return CacheLookup::Absent,
+            Err(e) => return CacheLookup::Io(e),
+        };
+        match CacheEntry::from_bytes(&bytes) {
+            Some(entry) if entry.fingerprint == fingerprint => {
+                CacheLookup::Hit(Box::new(entry), bytes.len() as u64)
+            }
+            _ => {
+                let _ = self
+                    .vfs
+                    .rename(&path, &path.with_extension("run.quarantine"));
+                CacheLookup::Corrupt
+            }
         }
-        Some((entry, bytes.len() as u64))
     }
 
-    /// Atomically persists `entry` (unique temp sibling + rename),
+    /// Loads the entry for `fingerprint`, returning it with its on-disk
+    /// size; every non-hit [`CacheLookup`] class collapses to `None`.
+    pub fn load(&self, fingerprint: u64) -> Option<(CacheEntry, u64)> {
+        match self.lookup(fingerprint) {
+            CacheLookup::Hit(entry, size) => Some((*entry, size)),
+            _ => None,
+        }
+    }
+
+    /// Atomically persists `entry` ([`crate::vfs::write_atomic`]),
     /// creating the cache directory if needed. Returns the bytes
     /// written.
     ///
     /// # Errors
     ///
-    /// A human-readable description of the filesystem failure. Callers
-    /// treat store failures as non-fatal: the run's result is already in
-    /// hand, the cache just stays cold.
-    pub fn store(&self, entry: &CacheEntry) -> Result<u64, String> {
-        std::fs::create_dir_all(&self.dir)
-            .map_err(|e| format!("creating cache dir {}: {e}", self.dir.display()))?;
-        let path = self.entry_path(entry.fingerprint);
-        let tmp = self.dir.join(format!(
-            ".{:016x}.{}.{}.tmp",
-            entry.fingerprint,
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
+    /// The classified filesystem failure. Callers treat store failures
+    /// as non-fatal: the run's result is already in hand, the cache
+    /// just stays cold.
+    pub fn store(&self, entry: &CacheEntry) -> Result<u64, VfsError> {
+        self.vfs.create_dir_all(&self.dir)?;
         let bytes = entry.to_bytes();
-        std::fs::write(&tmp, &bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| format!("rename to {}: {e}", path.display()))?;
+        vfs::write_atomic(&*self.vfs, &self.entry_path(entry.fingerprint), &bytes)?;
         Ok(bytes.len() as u64)
     }
 }
@@ -454,8 +503,18 @@ pub struct CacheStats {
     pub hits: u64,
     /// Cells that probed the cache and found nothing usable.
     pub misses: u64,
+    /// Misses where no entry existed (cold cache — the benign case).
+    pub misses_absent: u64,
+    /// Misses where an entry existed but was torn, corrupt,
+    /// version-skewed, or mislabeled; the entry was quarantined.
+    pub misses_corrupt: u64,
+    /// Misses where the entry could not be read at all (I/O failure).
+    pub misses_io: u64,
     /// Entries written.
     pub stores: u64,
+    /// Entry stores that failed (ENOSPC, torn write, dead disk); the
+    /// run's result was still delivered, the cache just stayed cold.
+    pub store_failures: u64,
     /// Cells that skipped the cache per [`bypass_reason`].
     pub bypassed: u64,
     /// Cache hits that were re-executed for verification.
@@ -479,7 +538,11 @@ impl CacheStats {
         self.executed += other.executed;
         self.hits += other.hits;
         self.misses += other.misses;
+        self.misses_absent += other.misses_absent;
+        self.misses_corrupt += other.misses_corrupt;
+        self.misses_io += other.misses_io;
         self.stores += other.stores;
+        self.store_failures += other.store_failures;
         self.bypassed += other.bypassed;
         self.verified += other.verified;
         self.verify_failures += other.verify_failures;
@@ -512,9 +575,11 @@ impl CacheStats {
         }
     }
 
-    /// One-line human summary.
+    /// One-line human summary. Miss classes (absent/corrupt/io) and
+    /// store failures are shown only when a non-benign class is
+    /// nonzero, keeping the healthy-path line short.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "cells {} | executed {} | dedup {:.2}x | cache {} hit / {} miss / {} stored \
              / {} bypassed | verified {} ({} failed) | ~{:.2}s saved",
             self.requested,
@@ -527,7 +592,14 @@ impl CacheStats {
             self.verified,
             self.verify_failures,
             self.saved_nanos as f64 / 1e9,
-        )
+        );
+        if self.misses_corrupt > 0 || self.misses_io > 0 || self.store_failures > 0 {
+            s.push_str(&format!(
+                " | DEGRADED: {} corrupt / {} io-error misses, {} failed stores",
+                self.misses_corrupt, self.misses_io, self.store_failures
+            ));
+        }
+        s
     }
 
     /// Hand-formatted JSON (the workspace deliberately has no JSON
@@ -535,7 +607,9 @@ impl CacheStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"requested\": {},\n  \"deduped\": {},\n  \"executed\": {},\n  \
-             \"hits\": {},\n  \"misses\": {},\n  \"stores\": {},\n  \"bypassed\": {},\n  \
+             \"hits\": {},\n  \"misses\": {},\n  \"misses_absent\": {},\n  \
+             \"misses_corrupt\": {},\n  \"misses_io\": {},\n  \"stores\": {},\n  \
+             \"store_failures\": {},\n  \"bypassed\": {},\n  \
              \"verified\": {},\n  \"verify_failures\": {},\n  \"bytes_read\": {},\n  \
              \"bytes_written\": {},\n  \"saved_nanos\": {},\n  \"dedup_factor\": {:.4},\n  \
              \"hit_rate\": {:.4}\n}}\n",
@@ -544,7 +618,11 @@ impl CacheStats {
             self.executed,
             self.hits,
             self.misses,
+            self.misses_absent,
+            self.misses_corrupt,
+            self.misses_io,
             self.stores,
+            self.store_failures,
             self.bypassed,
             self.verified,
             self.verify_failures,
@@ -556,17 +634,14 @@ impl CacheStats {
         )
     }
 
-    /// Writes [`CacheStats::to_json`] to `path` atomically (temp
-    /// sibling + rename), like cache entries.
+    /// Writes [`CacheStats::to_json`] to `path` atomically
+    /// ([`crate::vfs::write_atomic`]), like cache entries.
     ///
     /// # Errors
     ///
-    /// A description of the filesystem failure.
-    pub fn write_json(&self, path: &Path) -> Result<(), String> {
-        let tmp = path.with_extension("json.tmp");
-        std::fs::write(&tmp, self.to_json())
-            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+    /// The classified filesystem failure.
+    pub fn write_json(&self, path: &Path) -> Result<(), VfsError> {
+        vfs::write_atomic(&crate::vfs::StdVfs, path, self.to_json().as_bytes())
     }
 }
 
@@ -655,6 +730,36 @@ mod tests {
         // A mislabeled entry (file name != stored fingerprint) must miss.
         std::fs::rename(cache.entry_path(7), cache.entry_path(9)).expect("rename");
         assert!(cache.load(9).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn lookup_classifies_misses_and_quarantines_corrupt_entries() {
+        let cache = tmp_cache("classify");
+        assert_eq!(cache.lookup(1), CacheLookup::Absent, "cold cache");
+        let e = entry(1);
+        cache.store(&e).expect("store");
+        assert!(matches!(cache.lookup(1), CacheLookup::Hit(_, _)));
+        // Bitrot: flip one byte in the stored entry.
+        let path = cache.entry_path(1);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("re-write");
+        assert_eq!(cache.lookup(1), CacheLookup::Corrupt);
+        assert!(
+            !path.exists() && path.with_extension("run.quarantine").exists(),
+            "corrupt entry must be quarantined under a reproducer-grade name"
+        );
+        assert_eq!(
+            cache.lookup(1),
+            CacheLookup::Absent,
+            "slot freed for a re-store"
+        );
+        // An unreadable path (a directory where the entry should be) is
+        // an I/O-class miss, not a silent one.
+        std::fs::create_dir_all(cache.entry_path(2)).expect("dir in the way");
+        assert!(matches!(cache.lookup(2), CacheLookup::Io(_)));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -43,22 +43,22 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use refsim_dram::time::Ps;
 
-use crate::checkpoint::{config_fingerprint, Checkpoint};
-use crate::codec::{from_bytes, to_bytes};
+use crate::checkpoint::{config_fingerprint, Checkpoint, CheckpointError};
+use crate::codec::{self, to_bytes, Dec, Enc};
 use crate::error::RefsimError;
 use crate::experiment::Job;
 use crate::metrics::RunMetrics;
 use crate::replay::{span_boundaries, StateHashes};
-use crate::runcache::{bypass_reason, CacheEntry, CacheStats, RunCache};
+use crate::runcache::{bypass_reason, CacheEntry, CacheLookup, CacheStats, RunCache};
 use crate::system::System;
+use crate::vfs::{self, std_vfs, Vfs, VfsErrorKind};
 
 /// Options for a resilient sweep.
 #[derive(Debug, Clone)]
@@ -87,6 +87,10 @@ pub struct SweepOptions {
     /// bit-for-bit. On by default; a mismatch is counted in
     /// [`CacheStats::verify_failures`] and the fresh result wins.
     pub verify_sampled: bool,
+    /// Filesystem every persistence surface of the sweep goes through.
+    /// Defaults to the real filesystem; the crash-matrix harness swaps
+    /// in a [`crate::vfs::FaultVfs`].
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl Default for SweepOptions {
@@ -99,6 +103,7 @@ impl Default for SweepOptions {
             inject: None,
             cache: None,
             verify_sampled: true,
+            vfs: std_vfs(),
         }
     }
 }
@@ -129,12 +134,38 @@ pub struct SweepReport {
     pub resumed: u64,
     /// Dedup and run-cache telemetry for this sweep.
     pub stats: CacheStats,
+    /// Damaged on-disk files (checkpoints, metrics frames, the
+    /// manifest) detected via typed errors and renamed to
+    /// reproducer-grade `*.quarantine` siblings instead of being
+    /// trusted or deleted.
+    pub files_quarantined: u64,
+    /// Mid-run checkpoint saves that failed (ENOSPC, torn write). A
+    /// failed save is a lost safety net, not a lost result: the attempt
+    /// keeps simulating and the previous checkpoint stays in place.
+    pub ckpt_save_failures: u64,
+    /// The sweep manifest was torn or corrupt and progress was rebuilt
+    /// from the surviving checksummed per-job metrics frames.
+    pub manifest_rebuilt: bool,
+}
+
+/// Degradation counters shared between the sweep driver and the
+/// per-attempt code running on worker threads.
+#[derive(Debug, Default)]
+struct SweepTelemetry {
+    files_quarantined: AtomicU64,
+    ckpt_save_failures: AtomicU64,
 }
 
 /// Whether a failed attempt is worth retrying. Only nondeterministic
 /// failure modes qualify: everything else reproduces identically.
+/// Transient I/O interruptions qualify; ENOSPC and crash-point
+/// failures do not (a full disk stays full, a dead disk stays dead).
 fn is_retryable(e: &RefsimError) -> bool {
-    matches!(e, RefsimError::Panicked(_) | RefsimError::Checkpoint(_))
+    match e {
+        RefsimError::Panicked(_) | RefsimError::Checkpoint(_) => true,
+        RefsimError::Io(io) => io.is_transient(),
+        _ => false,
+    }
 }
 
 /// Best-effort recovery of a panic payload's message.
@@ -186,11 +217,30 @@ impl Manifest {
             };
             let _ = writeln!(s, "{line}");
         }
+        // Trailer: FNV-1a over everything above it. A truncated manifest
+        // would otherwise parse "successfully" with zeroed rows.
+        let sum = codec::fnv64(s.as_bytes());
+        let _ = writeln!(s, "checksum {sum:016x}");
         s
     }
 
-    fn parse(text: &str) -> Result<Self, String> {
-        let mut lines = text.lines();
+    pub(crate) fn parse(text: &str) -> Result<Self, String> {
+        let trimmed = text
+            .strip_suffix('\n')
+            .ok_or("manifest is truncated (no trailing newline)")?;
+        let (body, last) = match trimmed.rfind('\n') {
+            Some(p) => (&text[..p + 1], &trimmed[p + 1..]),
+            None => return Err("manifest is missing its checksum trailer".to_owned()),
+        };
+        let sum = last
+            .strip_prefix("checksum ")
+            .ok_or("manifest is missing its checksum trailer")?;
+        let sum =
+            u64::from_str_radix(sum, 16).map_err(|e| format!("bad manifest checksum: {e}"))?;
+        if codec::fnv64(body.as_bytes()) != sum {
+            return Err("manifest checksum mismatch (torn or corrupt)".to_owned());
+        }
+        let mut lines = body.lines();
         if lines.next() != Some("refsim-sweep v1") {
             return Err("manifest header is not `refsim-sweep v1`".to_owned());
         }
@@ -227,26 +277,115 @@ impl Manifest {
         Ok(m)
     }
 
-    /// Atomically persists the manifest (tmp sibling + rename).
-    fn store(&self, dir: &Path) -> Result<(), RefsimError> {
-        let path = manifest_path(dir);
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, self.render())
-            .and_then(|()| fs::rename(&tmp, &path))
-            .map_err(|e| RefsimError::Checkpoint(format!("storing sweep manifest: {e}")))
+    /// Atomically persists the manifest ([`crate::vfs::write_atomic`]).
+    fn store(&self, vfs: &dyn Vfs, dir: &Path) -> Result<(), RefsimError> {
+        vfs::write_atomic(vfs, &manifest_path(dir), self.render().as_bytes())
+            .map_err(RefsimError::Io)
     }
 }
 
-fn manifest_path(dir: &Path) -> PathBuf {
+/// Validates manifest text end to end (checksum trailer, header, rows)
+/// without exposing the manifest type — the crash-matrix scan's check
+/// that an on-disk manifest is consumable.
+pub(crate) fn validate_manifest(text: &str) -> Result<(), String> {
+    Manifest::parse(text).map(|_| ())
+}
+
+pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("sweep.manifest")
 }
 
-fn ckpt_path(dir: &Path, job: usize) -> PathBuf {
+pub(crate) fn ckpt_path(dir: &Path, job: usize) -> PathBuf {
     dir.join(format!("job-{job}.ckpt"))
 }
 
-fn metrics_path(dir: &Path, job: usize) -> PathBuf {
+pub(crate) fn metrics_path(dir: &Path, job: usize) -> PathBuf {
     dir.join(format!("job-{job}.metrics"))
+}
+
+/// Reproducer-grade quarantine name: the damaged file's own name plus
+/// `.quarantine`, in place, so the bytes survive for triage.
+pub(crate) fn quarantine_path(p: &Path) -> PathBuf {
+    let mut os = p.as_os_str().to_owned();
+    os.push(".quarantine");
+    PathBuf::from(os)
+}
+
+// ---- per-job metrics frames ---------------------------------------------
+//
+// Raw codec bytes would decode a bit-flipped RunMetrics into different
+// numbers without complaint; the frame adds a magic, a version, the
+// job's canonical fingerprint (so a frame can never be attributed to
+// the wrong cell, even after a manifest rebuild), and an FNV-1a
+// checksum over everything.
+
+/// Magic opening every per-job metrics frame.
+pub(crate) const METRICS_MAGIC: [u8; 4] = *b"RFMM";
+/// Current metrics-frame format version.
+pub(crate) const METRICS_VERSION: u32 = 1;
+
+pub(crate) fn encode_metrics(fingerprint: u64, m: &RunMetrics) -> Vec<u8> {
+    let payload = to_bytes(m);
+    let mut e = Enc::new();
+    e.put_bytes(&METRICS_MAGIC);
+    e.put_u32(METRICS_VERSION);
+    e.put_u64(fingerprint);
+    e.put_u64(payload.len() as u64);
+    e.put_bytes(&payload);
+    let mut bytes = e.into_bytes();
+    bytes.extend_from_slice(&codec::fnv64(&bytes).to_le_bytes());
+    bytes
+}
+
+/// Parses a metrics frame; any damage (truncation, bitrot, version
+/// skew) reads as `None`, never as different numbers.
+pub(crate) fn decode_metrics(bytes: &[u8]) -> Option<(u64, RunMetrics)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    if codec::fnv64(body) != u64::from_le_bytes(tail.try_into().ok()?) {
+        return None;
+    }
+    let mut d = Dec::new(body);
+    if d.get_bytes(4).ok()? != METRICS_MAGIC {
+        return None;
+    }
+    if d.get_u32().ok()? != METRICS_VERSION {
+        return None;
+    }
+    let fingerprint = d.get_u64().ok()?;
+    let n = d.get_u64().ok()?;
+    if n != d.remaining() as u64 {
+        return None;
+    }
+    let metrics = codec::from_bytes::<RunMetrics>(d.get_bytes(n as usize).ok()?).ok()?;
+    Some((fingerprint, metrics))
+}
+
+/// Loads job `job`'s persisted metrics, requiring the frame's embedded
+/// fingerprint to match `expected_fp`. Damaged or misattributed frames
+/// are quarantined and read as absent.
+fn load_metrics(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    job: usize,
+    expected_fp: u64,
+    tel: &SweepTelemetry,
+) -> Option<RunMetrics> {
+    let path = metrics_path(dir, job);
+    let bytes = match vfs.read(&path) {
+        Ok(b) => b,
+        Err(_) => return None, // absent or unreadable: the job re-runs
+    };
+    match decode_metrics(&bytes) {
+        Some((fp, m)) if fp == expected_fp => Some(m),
+        _ => {
+            let _ = vfs.rename(&path, &quarantine_path(&path));
+            tel.files_quarantined.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
 }
 
 // ---- per-attempt driver --------------------------------------------------
@@ -272,19 +411,44 @@ fn run_attempt(
     attempt: u32,
     opts: &SweepOptions,
     want_hash: bool,
+    tel: &SweepTelemetry,
 ) -> Result<AttemptOutcome, RefsimError> {
     let t0 = Instant::now();
     let cfg = &job.cfg;
+    let vfs = &*opts.vfs;
     let boundaries = span_boundaries(cfg, opts.checkpoint_every);
     let mut resumed = false;
     let mut sys = None;
     if let Some(dir) = &opts.dir {
         // A stale, corrupt, or mismatched checkpoint must never poison a
-        // retry — fall back to a fresh run instead.
-        if let Ok(cp) = Checkpoint::load(&ckpt_path(dir, job_idx)) {
-            if let Ok(s) = System::restore(cfg.clone(), &job.mix, &cp) {
-                resumed = true;
-                sys = Some(s);
+        // retry — quarantine it and fall back to a fresh run. Only a
+        // crashed (frozen) disk aborts the attempt: there is no point
+        // simulating when nothing can be persisted or delivered.
+        let path = ckpt_path(dir, job_idx);
+        match Checkpoint::load_with(vfs, &path) {
+            Ok(cp) => match System::restore(cfg.clone(), &job.mix, &cp) {
+                Ok(s) => {
+                    resumed = true;
+                    sys = Some(s);
+                }
+                Err(_) => {
+                    let _ = vfs.rename(&path, &quarantine_path(&path));
+                    tel.files_quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            Err(CheckpointError::Io(e)) => {
+                if e.kind == VfsErrorKind::Crashed {
+                    return Err(RefsimError::Io(e));
+                }
+                // Not found: a cold start. Transient or other read
+                // failures: also a cold start — strictly more work,
+                // never wrong.
+            }
+            Err(_) => {
+                // Torn or corrupt image: typed detection, quarantine,
+                // fresh run.
+                let _ = vfs.rename(&path, &quarantine_path(&path));
+                tel.files_quarantined.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -307,9 +471,23 @@ fn run_attempt(
             sys.begin_measure();
         }
         if let Some(dir) = &opts.dir {
-            sys.checkpoint(&job.mix)
-                .save(&ckpt_path(dir, job_idx))
-                .map_err(|e| RefsimError::Checkpoint(e.to_string()))?;
+            if let Err(e) = sys
+                .checkpoint(&job.mix)
+                .save_with(vfs, &ckpt_path(dir, job_idx))
+            {
+                match e {
+                    CheckpointError::Io(io) if io.kind == VfsErrorKind::Crashed => {
+                        return Err(RefsimError::Io(io));
+                    }
+                    // A failed mid-run checkpoint (ENOSPC, torn write)
+                    // is a lost safety net, not a lost result: the
+                    // previous checkpoint stays valid on disk and the
+                    // attempt keeps simulating.
+                    _ => {
+                        tel.ckpt_save_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
         }
         if let Some(inj) = &opts.inject {
             if inj.job == job_idx && attempt < inj.attempts && s_idx as u64 == inj.after_spans {
@@ -356,38 +534,66 @@ pub fn run_many_resilient(
         .map(|j| config_fingerprint(&j.cfg, &j.mix))
         .collect();
 
+    let vfs = &*opts.vfs;
+    let tel = SweepTelemetry::default();
+    let mut manifest_rebuilt = false;
     let mut manifest = Manifest::new(fingerprints.clone());
     let mut results: Vec<Option<Result<RunMetrics, RefsimError>>> = (0..n).map(|_| None).collect();
 
     if let Some(dir) = &opts.dir {
-        fs::create_dir_all(dir)
-            .map_err(|e| RefsimError::Checkpoint(format!("creating sweep dir: {e}")))?;
-        if let Ok(text) = fs::read_to_string(manifest_path(dir)) {
-            let prior = Manifest::parse(&text)
-                .map_err(|e| RefsimError::Checkpoint(format!("loading sweep manifest: {e}")))?;
-            if prior.fingerprints != fingerprints {
-                return Err(RefsimError::Checkpoint(
-                    "sweep manifest does not match this job list; \
-                     point --sweep-dir at a fresh directory"
-                        .to_owned(),
-                ));
-            }
-            for (i, st) in prior.status.iter().enumerate() {
-                if *st == JobStatus::Done {
-                    // Trust `done` only if the persisted metrics load.
-                    if let Ok(m) = fs::read(metrics_path(dir, i))
-                        .map_err(|e| e.to_string())
-                        .and_then(|b| from_bytes::<RunMetrics>(&b).map_err(|e| e.to_string()))
-                    {
-                        manifest.status[i] = JobStatus::Done;
-                        results[i] = Some(Ok(m));
-                    }
+        vfs.create_dir_all(dir).map_err(RefsimError::Io)?;
+        // Sweep away temp litter from a previous crashed invocation:
+        // under the atomic-publish convention every `*.tmp` file is
+        // garbage by definition.
+        if let Ok(entries) = vfs.read_dir(dir) {
+            for p in entries {
+                if p.extension().is_some_and(|e| e == "tmp") {
+                    let _ = vfs.remove(&p);
                 }
-                // `failed` (and unreadable `done`) rows go back to
-                // pending: a fresh invocation retries everything.
             }
         }
-        manifest.store(dir)?;
+        match vfs::read_to_string(vfs, &manifest_path(dir)) {
+            Ok(text) => match Manifest::parse(&text) {
+                Ok(prior) => {
+                    if prior.fingerprints != fingerprints {
+                        return Err(RefsimError::Checkpoint(
+                            "sweep manifest does not match this job list; \
+                             point --sweep-dir at a fresh directory"
+                                .to_owned(),
+                        ));
+                    }
+                }
+                Err(_) => {
+                    // Torn or corrupt manifest: quarantine it and
+                    // rebuild progress from the surviving checksummed
+                    // per-job metrics frames below.
+                    let path = manifest_path(dir);
+                    let _ = vfs.rename(&path, &quarantine_path(&path));
+                    tel.files_quarantined.fetch_add(1, Ordering::Relaxed);
+                    manifest_rebuilt = true;
+                }
+            },
+            Err(e) if e.kind == VfsErrorKind::NotFound => {}
+            Err(e) if e.kind == VfsErrorKind::Crashed => return Err(RefsimError::Io(e)),
+            Err(_) => {
+                // Unreadable manifest: start from the metrics frames,
+                // which carry their own fingerprints and checksums.
+            }
+        }
+        // Absorb every finished job whose framed metrics survive. The
+        // frame — not the manifest row — is the authority: its checksum
+        // and embedded fingerprint make misattribution impossible, so
+        // this also recovers jobs that finished after the manifest's
+        // last successful store.
+        for i in 0..n {
+            if results[i].is_none() {
+                if let Some(m) = load_metrics(vfs, dir, i, fingerprints[i], &tel) {
+                    manifest.status[i] = JobStatus::Done;
+                    results[i] = Some(Ok(m));
+                }
+            }
+        }
+        manifest.store(vfs, dir)?;
     }
 
     let pending: Vec<usize> = (0..n).filter(|&i| results[i].is_none()).collect();
@@ -433,7 +639,7 @@ pub fn run_many_resilient(
                         let mut attempt = 0;
                         loop {
                             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run_attempt(&jobs[i], i, attempt, opts, want_hash)
+                                run_attempt(&jobs[i], i, attempt, opts, want_hash, &tel)
                             }))
                             .unwrap_or_else(|payload| {
                                 Err(RefsimError::Panicked(panic_message(payload.as_ref())))
@@ -488,7 +694,23 @@ pub fn run_many_resilient(
                     let mut outcome: Option<Result<RunMetrics, RefsimError>> = None;
                     let mut was_quarantined = false;
                     if let Some(cache) = cache {
-                        if let Some((entry, sz)) = cache.load(fp) {
+                        let lookup = cache.lookup(fp);
+                        match &lookup {
+                            CacheLookup::Hit(_, _) => {}
+                            CacheLookup::Absent => bump(&|st| {
+                                st.misses += 1;
+                                st.misses_absent += 1;
+                            }),
+                            CacheLookup::Corrupt => bump(&|st| {
+                                st.misses += 1;
+                                st.misses_corrupt += 1;
+                            }),
+                            CacheLookup::Io(_) => bump(&|st| {
+                                st.misses += 1;
+                                st.misses_io += 1;
+                            }),
+                        }
+                        if let CacheLookup::Hit(entry, sz) = lookup {
                             let verify = opts.verify_sampled
                                 && !verify_claimed.swap(true, Ordering::Relaxed);
                             if verify {
@@ -526,8 +748,6 @@ pub fn run_many_resilient(
                                 });
                                 outcome = Some(Ok(entry.metrics));
                             }
-                        } else {
-                            bump(&|st| st.misses += 1);
                         }
                     }
                     let outcome = match outcome {
@@ -559,8 +779,10 @@ pub fn run_many_resilient(
                                 Ok(m) => {
                                     // Persist metrics first so `done` is
                                     // never recorded without its payload.
-                                    let ok = fs::write(metrics_path(dir, j), to_bytes(m)).is_ok();
-                                    let _ = fs::remove_file(ckpt_path(dir, j));
+                                    let frame = encode_metrics(fp, m);
+                                    let ok = vfs::write_atomic(vfs, &metrics_path(dir, j), &frame)
+                                        .is_ok();
+                                    let _ = vfs.remove(&ckpt_path(dir, j));
                                     if ok {
                                         JobStatus::Done
                                     } else {
@@ -570,7 +792,7 @@ pub fn run_many_resilient(
                                 Err(e) => JobStatus::Failed(e.to_string()),
                             };
                         }
-                        let _ = mf.store(dir);
+                        let _ = mf.store(vfs, dir);
                     }
                     if was_quarantined {
                         quarantined.lock().expect("poisoned").extend(group.iter());
@@ -598,12 +820,15 @@ pub fn run_many_resilient(
         quarantined,
         resumed: resumed_count.into_inner(),
         stats,
+        files_quarantined: tel.files_quarantined.into_inner(),
+        ckpt_save_failures: tel.ckpt_save_failures.into_inner(),
+        manifest_rebuilt,
     })
 }
 
 /// Persists a freshly executed result as a cache entry, folding byte
-/// counts into the sweep's stats. Store failures are non-fatal: the
-/// result is already in hand, the cache just stays cold.
+/// counts into the sweep's stats. Store failures are non-fatal but
+/// counted: the result is already in hand, the cache just stays cold.
 fn store_entry(
     cache: &RunCache,
     fingerprint: u64,
@@ -617,10 +842,13 @@ fn store_entry(
         wall_nanos: out.wall_nanos,
         metrics: out.metrics.clone(),
     };
-    if let Ok(written) = cache.store(&entry) {
-        let mut st = stats_mx.lock().expect("poisoned");
-        st.stores += 1;
-        st.bytes_written += written;
+    let mut st = stats_mx.lock().expect("poisoned");
+    match cache.store(&entry) {
+        Ok(written) => {
+            st.stores += 1;
+            st.bytes_written += written;
+        }
+        Err(_) => st.store_failures += 1,
     }
 }
 
@@ -630,6 +858,7 @@ mod tests {
     use crate::config::SystemConfig;
     use refsim_workloads::mix::WorkloadMix;
     use refsim_workloads::profiles::Benchmark;
+    use std::fs;
 
     fn tiny_job(seed: u64) -> Job {
         let mut cfg = SystemConfig::table1().with_time_scale(512).with_seed(seed);
