@@ -20,23 +20,41 @@
 //! * `--scale N` — time-scale divisor for every scenario (default 256);
 //! * `--reps N` — timing repetitions; the median rep wins (default 3);
 //! * `--out PATH` — JSON output path (default `BENCH_simwall.json`);
+//! * `--threads LIST` — additionally time the 16-cell refresh-policy
+//!   sweep at each comma-separated worker count (e.g. `1,2,4`) and
+//!   append a `"scaling"` block to the JSON artifact;
+//! * `--chaos` — run only the executor chaos smoke: the sweep on four
+//!   workers under a seeded [`WorkerFaultPlan`] (one hung worker, one
+//!   slow worker) must complete every cell bit-identical to a clean
+//!   single-threaded run with ≥ 1 deadline escalation; exits non-zero
+//!   on any violation;
 //! * `--check` — exit non-zero unless event-skip wins ≥ 3× on the
 //!   reference scenario and is no slower than fixed-step (to timing
-//!   jitter) everywhere else.
+//!   jitter) everywhere else; with `--threads`, also enforces the
+//!   ≥ 1.7× sweep-scaling floor at 4 workers.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use refsim_core::config::{EngineKind, DEFAULT_STEP};
+use refsim_core::executor::{ExecutorOptions, WorkerFaultPlan};
+use refsim_core::experiment::Job;
 use refsim_core::prelude::*;
+use refsim_core::sweep::{run_many_resilient, SweepOptions, SweepReport};
 use refsim_dram::refresh::RefreshPolicyKind;
 use refsim_dram::time::Ps;
-use refsim_dram::timing::Retention;
+use refsim_dram::timing::{FgrMode, Retention};
 use refsim_workloads::mix::WorkloadMix;
 use refsim_workloads::profiles::Benchmark;
 
 /// The scenario event-skip must win ≥ 3× on under `--check`.
 const REFERENCE: &str = "stall_heavy_hifi";
+
+/// Worker count the sweep-scaling floor applies to.
+const FLOOR_THREADS: usize = 4;
+
+/// Minimum sweep speedup at [`FLOOR_THREADS`] workers under `--check`.
+const SCALING_FLOOR: f64 = 1.7;
 
 /// One DDR3-1600 command clock — the finest pitch at which the
 /// controller can schedule distinct commands, i.e. command-level
@@ -156,11 +174,155 @@ fn bench_engine(
     }
 }
 
+/// The 16-cell matrix behind `--threads` and `--chaos`: every refresh
+/// policy crossed with a stall-heavy mix on a hot device and a mixed
+/// compute/memory mix at nominal retention. Policy diversity gives the
+/// work-stealing executor genuinely uneven cell costs; two mixes keep
+/// the matrix honest about both regimes.
+fn sweep_jobs(scale: u32) -> Vec<Job> {
+    let policies = [
+        RefreshPolicyKind::NoRefresh,
+        RefreshPolicyKind::AllBank,
+        RefreshPolicyKind::PerBankRoundRobin,
+        RefreshPolicyKind::PerBankSequential,
+        RefreshPolicyKind::OooPerBank,
+        RefreshPolicyKind::Fgr(FgrMode::X2),
+        RefreshPolicyKind::Adaptive,
+        RefreshPolicyKind::Elastic,
+    ];
+    let mixes = [
+        (
+            WorkloadMix::from_groups("stall-heavy", &[(Benchmark::Stream, 4)], "H"),
+            Retention::Ms32,
+        ),
+        (
+            WorkloadMix::from_groups(
+                "mixed",
+                &[(Benchmark::Stream, 2), (Benchmark::Povray, 2)],
+                "M + L",
+            ),
+            Retention::Ms64,
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for policy in policies {
+        for (mix, retention) in &mixes {
+            let mut cfg = SystemConfig::table1()
+                .with_time_scale(scale)
+                .with_refresh(policy);
+            cfg.retention = *retention;
+            cfg.warmup = cfg.trefw() / 8;
+            cfg.measure = cfg.trefw();
+            jobs.push(Job {
+                cfg,
+                mix: mix.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// One sweep-scaling measurement: the median wall over `reps`
+/// repetitions at the given worker count, plus the last repetition's
+/// report (for result comparison and executor telemetry). Uncached and
+/// unpersisted on purpose — the row times the executor, not the disk.
+fn time_sweep(jobs: &[Job], threads: usize, reps: u32) -> (f64, SweepReport) {
+    let opts = SweepOptions::default();
+    let mut samples = Vec::new();
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let rep = run_many_resilient(jobs, threads, &opts).expect("scaling sweep must run clean");
+        samples.push(t0.elapsed().as_secs_f64());
+        last = Some(rep);
+    }
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], last.expect("reps >= 1"))
+}
+
+/// A measured `--threads` row. Result Debug strings ride along so every
+/// worker count can be checked bit-identical against the baseline.
+struct ScalingRow {
+    threads: usize,
+    wall_s: f64,
+    steals: u64,
+    requeues: u64,
+    results: Vec<String>,
+}
+
+fn measure_scaling_row(jobs: &[Job], threads: usize, reps: u32) -> ScalingRow {
+    let (wall_s, rep) = time_sweep(jobs, threads, reps);
+    ScalingRow {
+        threads,
+        wall_s,
+        steals: rep.executor.steals,
+        requeues: rep.executor.requeues,
+        results: rep.results.iter().map(|r| format!("{r:?}")).collect(),
+    }
+}
+
+/// The `--chaos` smoke: runs the sweep matrix clean on one worker, then
+/// on four workers with one seeded hung worker (reclaimed twice by the
+/// supervisor) and one slow worker, and verifies containment — every
+/// cell completes `Ok`, bit-identical to the clean run, and the
+/// supervisor logged at least one deadline escalation. Returns the
+/// violations (empty = pass).
+fn chaos_smoke(scale: u32) -> Vec<String> {
+    let jobs = sweep_jobs(scale);
+    let clean =
+        run_many_resilient(&jobs, 1, &SweepOptions::default()).expect("clean sweep must run");
+    let plan = WorkerFaultPlan {
+        hung_workers: 1,
+        hang_claims: 2,
+        slow_workers: 1,
+        slow_delay: Duration::from_millis(10),
+        ..WorkerFaultPlan::quiet(0xC0DE)
+    };
+    let opts = SweepOptions {
+        executor: ExecutorOptions {
+            deadline_floor: Duration::from_millis(100),
+            adaptive_factor: 4,
+            escalate_factor: 1,
+            supervisor_tick: Duration::from_millis(5),
+            stall_cap: Duration::from_secs(5),
+            max_worker_strikes: 2,
+            fault_plan: Some(plan),
+            ..ExecutorOptions::default()
+        },
+        ..SweepOptions::default()
+    };
+    let rep = run_many_resilient(&jobs, FLOOR_THREADS, &opts).expect("chaos sweep must run");
+    println!("chaos executor: {}", rep.executor.summary());
+    let mut broken = Vec::new();
+    if rep.results.len() != jobs.len() {
+        broken.push(format!(
+            "only {}/{} cells accounted for",
+            rep.results.len(),
+            jobs.len()
+        ));
+    }
+    for (i, (chaos, reference)) in rep.results.iter().zip(&clean.results).enumerate() {
+        if chaos.is_err() {
+            broken.push(format!("cell {i} failed under chaos: {chaos:?}"));
+        } else if format!("{chaos:?}") != format!("{reference:?}") {
+            broken.push(format!(
+                "cell {i} diverged from the clean single-threaded run"
+            ));
+        }
+    }
+    if rep.executor.deadline_escalations < 1 {
+        broken.push("the hung worker never tripped a deadline escalation".to_owned());
+    }
+    broken
+}
+
 fn main() {
     let mut scale: u32 = 256;
     let mut reps: u32 = 3;
     let mut out = String::from("BENCH_simwall.json");
     let mut check = false;
+    let mut threads_list: Vec<usize> = Vec::new();
+    let mut chaos = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -180,13 +342,41 @@ fn main() {
                 reps = v.parse().expect("--reps must be an integer");
             }
             "--out" => out = it.next().expect("--out needs a path"),
+            "--threads" => {
+                let v = it.next().expect("--threads needs a comma list, e.g. 1,2,4");
+                threads_list = v
+                    .split(',')
+                    .map(|t| {
+                        let n: usize = t.trim().parse().expect("--threads takes positive integers");
+                        assert!(n > 0, "--threads entries must be positive");
+                        n
+                    })
+                    .collect();
+            }
+            "--chaos" => chaos = true,
             "--check" => check = true,
             "--help" | "-h" => {
-                eprintln!("flags: [--quick] [--scale N] [--reps N] [--out PATH] [--check]");
+                eprintln!(
+                    "flags: [--quick] [--scale N] [--reps N] [--out PATH] \
+                     [--threads LIST] [--chaos] [--check]"
+                );
                 return;
             }
             other => panic!("unknown flag {other}; try --help"),
         }
+    }
+
+    if chaos {
+        println!("simwall --chaos: sweep matrix under a seeded WorkerFaultPlan, scale {scale}");
+        let broken = chaos_smoke(scale);
+        if broken.is_empty() {
+            println!("chaos smoke passed: all cells bit-identical, hung worker contained");
+            return;
+        }
+        for b in &broken {
+            eprintln!("FAIL: {b}");
+        }
+        std::process::exit(1);
     }
 
     let base = SystemConfig::table1().with_time_scale(scale);
@@ -266,6 +456,77 @@ fn main() {
         }
     }
 
+    // ---- sweep scaling matrix (--threads) ----------------------------
+    let mut scaling_rows: Vec<ScalingRow> = Vec::new();
+    let mut scaling_jobs_len = 0;
+    if !threads_list.is_empty() {
+        let jobs = sweep_jobs(scale);
+        scaling_jobs_len = jobs.len();
+        println!(
+            "\nsweep scaling: {} cells, median of {reps} rep(s) per worker count",
+            jobs.len()
+        );
+        println!(
+            "{:<8} {:>10} {:>9} {:>8} {:>9}",
+            "threads", "wall (s)", "speedup", "steals", "requeues"
+        );
+        // Untimed warmup pass (allocator, page cache) so the first
+        // measured worker count is not penalized.
+        let _ = time_sweep(&jobs, *threads_list.iter().max().expect("non-empty"), 1);
+        for &t in &threads_list {
+            scaling_rows.push(measure_scaling_row(&jobs, t, reps));
+        }
+        let baseline_idx = (0..scaling_rows.len())
+            .min_by_key(|&i| scaling_rows[i].threads)
+            .expect("non-empty");
+        // Result assembly must be worker-count-invariant; a divergence
+        // is a correctness bug, not jitter, so it fails unconditionally.
+        for row in &scaling_rows {
+            assert_eq!(
+                row.results, scaling_rows[baseline_idx].results,
+                "sweep results diverged between {} and {} workers",
+                scaling_rows[baseline_idx].threads, row.threads
+            );
+        }
+        if check {
+            // Same interference policy as the engine floors: re-measure
+            // a failing floor row up to twice, keep the best wall.
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            for i in 0..scaling_rows.len() {
+                if scaling_rows[i].threads != FLOOR_THREADS || cores < FLOOR_THREADS {
+                    continue;
+                }
+                for attempt in 0..2 {
+                    let speedup = scaling_rows[baseline_idx].wall_s / scaling_rows[i].wall_s;
+                    if speedup >= SCALING_FLOOR {
+                        break;
+                    }
+                    eprintln!(
+                        "note: {}-worker speedup {speedup:.2}x below {SCALING_FLOOR:.2}x \
+                         floor; re-measuring ({}/2)",
+                        FLOOR_THREADS,
+                        attempt + 1
+                    );
+                    let again = measure_scaling_row(&jobs, FLOOR_THREADS, reps);
+                    if again.wall_s < scaling_rows[i].wall_s {
+                        scaling_rows[i] = again;
+                    }
+                }
+            }
+        }
+        let baseline_wall = scaling_rows[baseline_idx].wall_s;
+        for row in &scaling_rows {
+            println!(
+                "{:<8} {:>10.3} {:>8.2}x {:>8} {:>9}",
+                row.threads,
+                row.wall_s,
+                baseline_wall / row.wall_s,
+                row.steals,
+                row.requeues
+            );
+        }
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"simwall\",");
@@ -290,7 +551,37 @@ fn main() {
             skip.sim_ps_per_s
         );
     }
-    let _ = writeln!(json, "  ]");
+    if scaling_rows.is_empty() {
+        let _ = writeln!(json, "  ]");
+    } else {
+        let baseline_wall = scaling_rows
+            .iter()
+            .min_by_key(|r| r.threads)
+            .expect("non-empty")
+            .wall_s;
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(json, "  \"scaling\": {{");
+        let _ = writeln!(json, "    \"jobs\": {scaling_jobs_len},");
+        let _ = writeln!(json, "    \"reps\": {reps},");
+        let _ = writeln!(json, "    \"floor_threads\": {FLOOR_THREADS},");
+        let _ = writeln!(json, "    \"floor\": {SCALING_FLOOR},");
+        let _ = writeln!(json, "    \"rows\": [");
+        for (i, row) in scaling_rows.iter().enumerate() {
+            let comma = if i + 1 < scaling_rows.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "      {{\"threads\": {}, \"wall_s\": {:.6}, \"speedup\": {:.4}, \
+                 \"steals\": {}, \"requeues\": {}}}{comma}",
+                row.threads,
+                row.wall_s,
+                baseline_wall / row.wall_s,
+                row.steals,
+                row.requeues
+            );
+        }
+        let _ = writeln!(json, "    ]");
+        let _ = writeln!(json, "  }}");
+    }
     let _ = writeln!(json, "}}");
     // Atomic publish so a concurrent reader (or a crash mid-write)
     // never observes a truncated artifact.
@@ -312,6 +603,32 @@ fn main() {
             if *speedup < floor {
                 eprintln!("FAIL: {name} speedup {speedup:.2}x is below the {floor:.2}x floor");
                 failed = true;
+            }
+        }
+        if !scaling_rows.is_empty() {
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+            let baseline_wall = scaling_rows
+                .iter()
+                .min_by_key(|r| r.threads)
+                .expect("non-empty")
+                .wall_s;
+            for row in &scaling_rows {
+                if row.threads != FLOOR_THREADS {
+                    continue;
+                }
+                let speedup = baseline_wall / row.wall_s;
+                if cores < FLOOR_THREADS {
+                    eprintln!(
+                        "note: host has {cores} core(s); skipping the {FLOOR_THREADS}-worker \
+                         {SCALING_FLOOR:.2}x scaling floor"
+                    );
+                } else if speedup < SCALING_FLOOR {
+                    eprintln!(
+                        "FAIL: sweep speedup {speedup:.2}x at {FLOOR_THREADS} workers is \
+                         below the {SCALING_FLOOR:.2}x floor"
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {

@@ -113,19 +113,30 @@ impl Cli {
     }
 
     /// End-of-run bookkeeping every figure binary shares: prints the
-    /// dedup/cache telemetry to stderr (when any sweep ran), writes the
-    /// `--stats-out` JSON artifact, and enforces `--min-hit-rate`.
+    /// dedup/cache and executor telemetry to stderr (when any sweep ran),
+    /// writes the `--stats-out` JSON artifact, and enforces
+    /// `--min-hit-rate`.
+    ///
+    /// The artifact keeps the historical cache fields at the top level
+    /// and nests the executor counters under an `"executor"` key, so
+    /// existing consumers of the flat layout keep working.
     ///
     /// # Panics
     ///
     /// Panics when the stats artifact cannot be written.
     pub fn finish(&self) {
         let stats = self.opts.telemetry.snapshot();
+        let exec = self.opts.telemetry.exec_snapshot();
         if stats.requested > 0 {
             eprintln!("runcache: {}", stats.summary());
         }
+        if exec.items > 0 {
+            eprintln!("executor: {}", exec.summary());
+        }
         if let Some(path) = &self.stats_out {
-            stats.write_json(path).expect("write stats artifact");
+            let combined = combined_stats_json(&stats, &exec);
+            refsim_core::vfs::write_atomic(&refsim_core::vfs::StdVfs, path, combined.as_bytes())
+                .expect("write stats artifact");
             eprintln!("wrote {}", path.display());
         }
         if let Some(floor) = self.min_hit_rate {
@@ -155,6 +166,27 @@ impl Cli {
             println!();
         }
     }
+}
+
+/// Splices [`refsim_core::executor::ExecutorStats`] into the cache
+/// telemetry JSON: historical cache fields stay at the top level, the
+/// executor counters nest under an `"executor"` key.
+///
+/// # Panics
+///
+/// Panics if the cache JSON is not a brace-terminated object.
+#[must_use]
+pub fn combined_stats_json(
+    cache: &refsim_core::runcache::CacheStats,
+    exec: &refsim_core::executor::ExecutorStats,
+) -> String {
+    let cache_json = cache.to_json();
+    let body = cache_json
+        .trim_end()
+        .strip_suffix('}')
+        .expect("cache stats JSON ends with an object brace")
+        .trim_end();
+    format!("{body},\n  \"executor\": {}\n}}\n", exec.to_json("  "))
 }
 
 #[cfg(test)]
@@ -202,5 +234,25 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn rejects_unknown() {
         let _ = Cli::from_args(["--bogus".to_owned()]);
+    }
+
+    #[test]
+    fn stats_artifact_nests_executor_under_the_cache_fields() {
+        let cache = refsim_core::runcache::CacheStats::default();
+        let exec = refsim_core::executor::ExecutorStats {
+            workers: 4,
+            items: 16,
+            ..Default::default()
+        };
+        let json = combined_stats_json(&cache, &exec);
+        assert!(json.contains("\"hit_rate\""), "cache fields stay top-level");
+        assert!(json.contains("\"executor\": {"), "executor object nested");
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.trim_end().ends_with('}'), "well-formed object");
+        assert_eq!(
+            json.matches("\"executor\"").count(),
+            1,
+            "exactly one executor key"
+        );
     }
 }

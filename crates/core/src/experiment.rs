@@ -27,6 +27,7 @@ use refsim_workloads::profiles::Benchmark;
 
 use crate::config::{EngineKind, SystemConfig};
 use crate::error::RefsimError;
+use crate::executor::ExecutorStats;
 use crate::faults::FaultPlan;
 use crate::metrics::{gmean_finite, RunMetrics};
 use crate::report::Table;
@@ -127,25 +128,39 @@ pub struct ExpOptions {
     pub telemetry: Telemetry,
 }
 
-/// Shared, cloneable accumulator of [`CacheStats`] across sweeps.
+/// Shared, cloneable accumulator of [`CacheStats`] and
+/// [`ExecutorStats`] across sweeps.
 #[derive(Clone, Default)]
-pub struct Telemetry(Arc<Mutex<CacheStats>>);
+pub struct Telemetry(Arc<Mutex<(CacheStats, ExecutorStats)>>);
 
 impl Telemetry {
-    /// Folds one sweep's stats into the running total.
+    /// Folds one sweep's cache stats into the running total.
     pub fn add(&self, stats: &CacheStats) {
-        self.0.lock().expect("poisoned").merge(stats);
+        self.0.lock().expect("poisoned").0.merge(stats);
     }
 
-    /// A copy of the current totals.
+    /// Folds one sweep's executor stats into the running total.
+    pub fn add_exec(&self, stats: &ExecutorStats) {
+        self.0.lock().expect("poisoned").1.merge(stats);
+    }
+
+    /// A copy of the current cache totals.
     pub fn snapshot(&self) -> CacheStats {
-        *self.0.lock().expect("poisoned")
+        self.0.lock().expect("poisoned").0
+    }
+
+    /// A copy of the current executor totals.
+    pub fn exec_snapshot(&self) -> ExecutorStats {
+        self.0.lock().expect("poisoned").1.clone()
     }
 }
 
 impl fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("Telemetry").field(&self.snapshot()).finish()
+        f.debug_tuple("Telemetry")
+            .field(&self.snapshot())
+            .field(&self.exec_snapshot())
+            .finish()
     }
 }
 
@@ -159,9 +174,7 @@ impl ExpOptions {
             measure_windows: 2,
             workloads: table2(),
             seed: 0x5EED,
-            threads: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4),
+            threads: crate::executor::default_threads(),
             engine: EngineKind::default(),
             cache: None,
             pool: None,
@@ -255,6 +268,7 @@ pub fn run_jobs(opts: &ExpOptions, jobs: &[Job]) -> Vec<Result<RunMetrics, Refsi
     let report = run_many_resilient(jobs, opts.threads, &sweep_options(opts))
         .expect("default sweep options never touch a manifest");
     opts.telemetry.add(&report.stats);
+    opts.telemetry.add_exec(&report.executor);
     report.results
 }
 
@@ -377,6 +391,7 @@ impl RunPool {
                         run_many_resilient(std::slice::from_ref(job), 1, &sweep_options(opts))
                             .expect("default sweep options never touch a manifest");
                     opts.telemetry.add(&report.stats);
+                    opts.telemetry.add_exec(&report.executor);
                     let r = report.results.into_iter().next().expect("one job in");
                     self.inner
                         .lock()
@@ -406,6 +421,7 @@ impl RunPool {
         stats.requested = requested;
         stats.deduped = requested.saturating_sub(jobs.len() as u64);
         opts.telemetry.add(&stats);
+        opts.telemetry.add_exec(&report.executor);
         let mut inner = self.inner.lock().expect("poisoned");
         for (job, r) in jobs.iter().zip(report.results) {
             inner.results.insert(job_fingerprint(&job.cfg, &job.mix), r);

@@ -13,6 +13,7 @@ pub mod codec;
 pub mod config;
 pub mod diffval;
 pub mod error;
+pub mod executor;
 pub mod experiment;
 pub mod fastmap;
 pub mod faults;
@@ -29,6 +30,7 @@ pub mod vfs;
 pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::error::{RefsimError, SystemSnapshot};
+    pub use crate::executor::{default_threads, ExecutorOptions, ExecutorStats, WorkerFaultPlan};
     pub use crate::experiment::{ExpOptions, Job, Scheme};
     pub use crate::faults::FaultPlan;
     pub use crate::metrics::{gmean, gmean_finite, RunMetrics, TaskMetrics};

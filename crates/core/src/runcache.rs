@@ -461,6 +461,19 @@ impl RunCache {
         }
     }
 
+    /// Reads the cached wall-clock cost of `fingerprint` without any
+    /// lookup side effects — no stats, no quarantine of damaged
+    /// entries. The sweep executor uses it as its cost estimator when
+    /// ordering dispatch; a damaged entry is simply "no estimate" here
+    /// and is classified properly when the real lookup runs.
+    pub fn peek_wall_nanos(&self, fingerprint: u64) -> Option<u64> {
+        let bytes = self.vfs.read(&self.entry_path(fingerprint)).ok()?;
+        match CacheEntry::from_bytes(&bytes) {
+            Some(entry) if entry.fingerprint == fingerprint => Some(entry.wall_nanos),
+            _ => None,
+        }
+    }
+
     /// Loads the entry for `fingerprint`, returning it with its on-disk
     /// size; every non-hit [`CacheLookup`] class collapses to `None`.
     pub fn load(&self, fingerprint: u64) -> Option<(CacheEntry, u64)> {

@@ -44,8 +44,8 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use refsim_dram::time::Ps;
@@ -53,6 +53,7 @@ use refsim_dram::time::Ps;
 use crate::checkpoint::{config_fingerprint, Checkpoint, CheckpointError};
 use crate::codec::{self, to_bytes, Dec, Enc};
 use crate::error::RefsimError;
+use crate::executor::{self, default_threads, ExecItem, ExecutorOptions, ExecutorStats, Verdict};
 use crate::experiment::Job;
 use crate::metrics::RunMetrics;
 use crate::replay::{span_boundaries, StateHashes};
@@ -91,6 +92,10 @@ pub struct SweepOptions {
     /// Defaults to the real filesystem; the crash-matrix harness swaps
     /// in a [`crate::vfs::FaultVfs`].
     pub vfs: Arc<dyn Vfs>,
+    /// Supervision and isolation policy for the work-stealing executor
+    /// that runs the deduplicated leader cells (deadlines, straggler
+    /// escalation, worker quarantine, chaos injection).
+    pub executor: ExecutorOptions,
 }
 
 impl Default for SweepOptions {
@@ -104,6 +109,7 @@ impl Default for SweepOptions {
             cache: None,
             verify_sampled: true,
             vfs: std_vfs(),
+            executor: ExecutorOptions::default(),
         }
     }
 }
@@ -146,6 +152,10 @@ pub struct SweepReport {
     /// The sweep manifest was torn or corrupt and progress was rebuilt
     /// from the surviving checksummed per-job metrics frames.
     pub manifest_rebuilt: bool,
+    /// Scheduling telemetry from the work-stealing executor (steals,
+    /// requeues, deadline escalations, quarantined workers, tail-cell
+    /// histogram).
+    pub executor: ExecutorStats,
 }
 
 /// Degradation counters shared between the sweep driver and the
@@ -163,6 +173,10 @@ struct SweepTelemetry {
 fn is_retryable(e: &RefsimError) -> bool {
     match e {
         RefsimError::Panicked(_) | RefsimError::Checkpoint(_) => true,
+        // Supervisor cancellation abandons a straggling attempt so its
+        // worker can serve healthy cells; the re-run (from checkpoint
+        // when one exists) produces the same bits later.
+        RefsimError::Cancelled { .. } => true,
         RefsimError::Io(io) => io.is_transient(),
         _ => false,
     }
@@ -404,7 +418,10 @@ struct AttemptOutcome {
 
 /// Runs one attempt of `job`, checkpointing at each span boundary when a
 /// sweep directory is configured, resuming from an existing checkpoint
-/// when one is present and importable.
+/// when one is present and importable. `cancel`, when supplied, is
+/// installed as the system's cooperative-cancellation hook (see
+/// [`System::set_cancel_hook`]) so the executor's supervisor can
+/// reclaim a straggling attempt.
 fn run_attempt(
     job: &Job,
     job_idx: usize,
@@ -412,6 +429,7 @@ fn run_attempt(
     opts: &SweepOptions,
     want_hash: bool,
     tel: &SweepTelemetry,
+    cancel: Option<&Arc<AtomicBool>>,
 ) -> Result<AttemptOutcome, RefsimError> {
     let t0 = Instant::now();
     let cfg = &job.cfg;
@@ -462,6 +480,11 @@ fn run_attempt(
             s
         }
     };
+    // Installed after both construction paths, so a checkpoint-restored
+    // attempt is just as reclaimable as a cold one.
+    if let Some(flag) = cancel {
+        sys.set_cancel_hook(Arc::clone(flag));
+    }
     for (s_idx, &b) in boundaries.iter().enumerate() {
         if b <= sys.now() {
             continue; // already covered by the restored checkpoint
@@ -575,9 +598,23 @@ pub fn run_many_resilient(
             },
             Err(e) if e.kind == VfsErrorKind::NotFound => {}
             Err(e) if e.kind == VfsErrorKind::Crashed => return Err(RefsimError::Io(e)),
+            Err(e)
+                if matches!(&e.kind, VfsErrorKind::Other(msg)
+                    if msg.starts_with("invalid utf-8")) =>
+            {
+                // The read succeeded but bitrot broke the text encoding
+                // itself — the same torn-manifest class as a checksum
+                // failure, just caught one layer earlier: quarantine
+                // the bytes and rebuild from the metrics frames.
+                let path = manifest_path(dir);
+                let _ = vfs.rename(&path, &quarantine_path(&path));
+                tel.files_quarantined.fetch_add(1, Ordering::Relaxed);
+                manifest_rebuilt = true;
+            }
             Err(_) => {
-                // Unreadable manifest: start from the metrics frames,
-                // which carry their own fingerprints and checksums.
+                // Unreadable manifest (transient read fault): start from
+                // the metrics frames, which carry their own fingerprints
+                // and checksums.
             }
         }
         // Absorb every finished job whose framed metrics survive. The
@@ -619,192 +656,260 @@ pub fn run_many_resilient(
 
     let results = Mutex::new(results);
     let manifest = Mutex::new(manifest);
-    let cursor = AtomicUsize::new(0);
     let retries = AtomicU64::new(0);
     let resumed_count = AtomicU64::new(0);
     let quarantined = Mutex::new(Vec::new());
     let stats_mx = Mutex::new(&mut stats);
     // One sampled verification per sweep: the first hit claims it.
     let verify_claimed = AtomicBool::new(false);
-    let workers = threads.clamp(1, leaders.len().max(1));
+    let workers = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
 
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                // Retry loop for one leader: returns the attempt result
-                // (with hash/wall when `want_hash`) and whether the cell
-                // exhausted its retry budget on a retryable failure.
-                let run_to_completion =
-                    |i: usize, want_hash: bool| -> (Result<AttemptOutcome, RefsimError>, bool) {
-                        let mut attempt = 0;
-                        loop {
-                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                run_attempt(&jobs[i], i, attempt, opts, want_hash, &tel)
-                            }))
-                            .unwrap_or_else(|payload| {
-                                Err(RefsimError::Panicked(panic_message(payload.as_ref())))
-                            });
-                            match r {
-                                Ok(out) => {
-                                    if out.resumed {
-                                        resumed_count.fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    return (Ok(out), false);
-                                }
-                                Err(e) => {
-                                    let retryable = is_retryable(&e);
-                                    if !retryable || attempt >= opts.max_retries {
-                                        return (Err(e), retryable);
-                                    }
-                                    retries.fetch_add(1, Ordering::Relaxed);
-                                    let backoff = opts
-                                        .backoff
-                                        .saturating_mul(1 << attempt.min(10))
-                                        .min(Duration::from_secs(1));
-                                    if !backoff.is_zero() {
-                                        std::thread::sleep(backoff);
-                                    }
-                                    attempt += 1;
-                                }
-                            }
-                        }
-                    };
-                let bump = |f: &dyn Fn(&mut CacheStats)| {
-                    f(&mut stats_mx.lock().expect("poisoned"));
-                };
-                loop {
-                    let p = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = leaders.get(p) else { break };
-                    let fp = fingerprints[i];
+    // Cost-model estimates for dispatch ordering: a cached wall from a
+    // prior process, read without lookup side effects. Bypassed cells
+    // and cold caches have no estimate and run in submission order.
+    let items: Vec<ExecItem> = leaders
+        .iter()
+        .enumerate()
+        .map(|(p, &i)| ExecItem {
+            id: p,
+            estimate_nanos: opts.cache.as_ref().and_then(|c| {
+                bypass_reason(&jobs[i].cfg)
+                    .is_none()
+                    .then(|| c.peek_wall_nanos(fingerprints[i]))
+                    .flatten()
+            }),
+        })
+        .collect();
 
-                    // The persistent cache applies only to cacheable
-                    // cells; audited / fault-injected / debug-knob runs
-                    // must execute for real, every time.
-                    let cache = match &opts.cache {
-                        Some(c) => match bypass_reason(&jobs[i].cfg) {
-                            None => Some(c),
-                            Some(_) => {
-                                bump(&|st| st.bypassed += 1);
-                                None
-                            }
-                        },
-                        None => None,
-                    };
+    // Per-leader state that must survive executor requeues: the sweep —
+    // not the executor — owns the retry budget (so `PanicInjection`
+    // attempt counting is unchanged), and the cache decision is made
+    // exactly once per leader no matter how many dispatches it takes.
+    let attempts: Vec<AtomicU32> = leaders.iter().map(|_| AtomicU32::new(0)).collect();
+    let prepared: Vec<OnceLock<Prepared>> = leaders.iter().map(|_| OnceLock::new()).collect();
 
-                    let mut outcome: Option<Result<RunMetrics, RefsimError>> = None;
-                    let mut was_quarantined = false;
-                    if let Some(cache) = cache {
-                        let lookup = cache.lookup(fp);
-                        match &lookup {
-                            CacheLookup::Hit(_, _) => {}
-                            CacheLookup::Absent => bump(&|st| {
-                                st.misses += 1;
-                                st.misses_absent += 1;
-                            }),
-                            CacheLookup::Corrupt => bump(&|st| {
-                                st.misses += 1;
-                                st.misses_corrupt += 1;
-                            }),
-                            CacheLookup::Io(_) => bump(&|st| {
-                                st.misses += 1;
-                                st.misses_io += 1;
-                            }),
-                        }
-                        if let CacheLookup::Hit(entry, sz) = lookup {
-                            let verify = opts.verify_sampled
-                                && !verify_claimed.swap(true, Ordering::Relaxed);
-                            if verify {
-                                // Sampled audit: re-run the cell and hold
-                                // the entry to bit-identity on both the
-                                // metrics and the final replay hash.
-                                bump(&|st| st.executed += 1);
-                                let (r, q) = run_to_completion(i, true);
-                                was_quarantined = q;
-                                outcome = Some(match r {
-                                    Ok(out) => {
-                                        let clean = out.metrics == entry.metrics
-                                            && out.hash == Some(entry.replay_hash);
-                                        if clean {
-                                            bump(&|st| {
-                                                st.hits += 1;
-                                                st.verified += 1;
-                                                st.bytes_read += sz;
-                                            });
-                                        } else {
-                                            // The fresh run wins; the
-                                            // stale entry is overwritten.
-                                            bump(&|st| st.verify_failures += 1);
-                                            store_entry(cache, fp, &out, &stats_mx);
-                                        }
-                                        Ok(out.metrics)
-                                    }
-                                    Err(e) => Err(e),
-                                });
-                            } else {
-                                bump(&|st| {
-                                    st.hits += 1;
-                                    st.bytes_read += sz;
-                                    st.saved_nanos += entry.wall_nanos;
-                                });
-                                outcome = Some(Ok(entry.metrics));
-                            }
-                        }
-                    }
-                    let outcome = match outcome {
-                        Some(o) => o,
-                        None => {
-                            bump(&|st| st.executed += 1);
-                            let (r, q) = run_to_completion(i, cache.is_some());
-                            was_quarantined = q;
-                            match r {
-                                Ok(out) => {
-                                    if let Some(cache) = cache {
-                                        store_entry(cache, fp, &out, &stats_mx);
-                                    }
-                                    Ok(out.metrics)
-                                }
-                                Err(e) => Err(e),
-                            }
-                        }
-                    };
+    let bump = |f: &dyn Fn(&mut CacheStats)| {
+        f(&mut stats_mx.lock().expect("poisoned"));
+    };
 
-                    // Fan the leader's outcome out to every cell of its
-                    // group (the leader included), preserving per-cell
-                    // manifest rows, metrics files, and error clones.
-                    let group = &groups[&fp];
-                    if let Some(dir) = &opts.dir {
-                        let mut mf = manifest.lock().expect("poisoned");
-                        for &j in group {
-                            mf.status[j] = match &outcome {
-                                Ok(m) => {
-                                    // Persist metrics first so `done` is
-                                    // never recorded without its payload.
-                                    let frame = encode_metrics(fp, m);
-                                    let ok = vfs::write_atomic(vfs, &metrics_path(dir, j), &frame)
-                                        .is_ok();
-                                    let _ = vfs.remove(&ckpt_path(dir, j));
-                                    if ok {
-                                        JobStatus::Done
-                                    } else {
-                                        JobStatus::Failed("metrics not persisted".to_owned())
-                                    }
-                                }
-                                Err(e) => JobStatus::Failed(e.to_string()),
-                            };
-                        }
-                        let _ = mf.store(vfs, dir);
-                    }
-                    if was_quarantined {
-                        quarantined.lock().expect("poisoned").extend(group.iter());
-                    }
-                    let mut res = results.lock().expect("poisoned");
-                    for &j in group {
-                        res.as_mut_slice()[j] = Some(outcome.clone());
-                    }
+    // The cache decision for one leader: serve a hit outright, or
+    // execute (optionally verifying against the held entry). The
+    // persistent cache applies only to cacheable cells; audited /
+    // fault-injected / debug-knob runs must execute for real.
+    let prepare = |i: usize, fp: u64| -> Prepared {
+        let cache = match &opts.cache {
+            Some(c) => match bypass_reason(&jobs[i].cfg) {
+                None => Some(c),
+                Some(_) => {
+                    bump(&|st| st.bypassed += 1);
+                    None
                 }
-            });
+            },
+            None => None,
+        };
+        let Some(cache) = cache else {
+            bump(&|st| st.executed += 1);
+            return Prepared::Execute {
+                verify: None,
+                verify_sz: 0,
+                use_cache: false,
+            };
+        };
+        let lookup = cache.lookup(fp);
+        match &lookup {
+            CacheLookup::Hit(_, _) => {}
+            CacheLookup::Absent => bump(&|st| {
+                st.misses += 1;
+                st.misses_absent += 1;
+            }),
+            CacheLookup::Corrupt => bump(&|st| {
+                st.misses += 1;
+                st.misses_corrupt += 1;
+            }),
+            CacheLookup::Io(_) => bump(&|st| {
+                st.misses += 1;
+                st.misses_io += 1;
+            }),
         }
-    });
+        if let CacheLookup::Hit(entry, sz) = lookup {
+            if opts.verify_sampled && !verify_claimed.swap(true, Ordering::Relaxed) {
+                // Sampled audit: re-run the cell and hold the entry to
+                // bit-identity on metrics and the final replay hash.
+                bump(&|st| st.executed += 1);
+                Prepared::Execute {
+                    verify: Some(entry),
+                    verify_sz: sz,
+                    use_cache: true,
+                }
+            } else {
+                bump(&|st| {
+                    st.hits += 1;
+                    st.bytes_read += sz;
+                    st.saved_nanos += entry.wall_nanos;
+                });
+                Prepared::Serve(Box::new(entry.metrics))
+            }
+        } else {
+            bump(&|st| st.executed += 1);
+            Prepared::Execute {
+                verify: None,
+                verify_sz: 0,
+                use_cache: true,
+            }
+        }
+    };
+
+    // Fans one leader's terminal outcome out to every cell of its group
+    // (the leader included), preserving per-cell manifest rows, metrics
+    // files, and error clones.
+    let finish = |fp: u64, outcome: Result<RunMetrics, RefsimError>, cell_quarantined: bool| {
+        let group = &groups[&fp];
+        if let Some(dir) = &opts.dir {
+            let mut mf = manifest.lock().expect("poisoned");
+            for &j in group {
+                mf.status[j] = match &outcome {
+                    Ok(m) => {
+                        // Persist metrics first so `done` is never
+                        // recorded without its payload.
+                        let frame = encode_metrics(fp, m);
+                        let ok = vfs::write_atomic(vfs, &metrics_path(dir, j), &frame).is_ok();
+                        let _ = vfs.remove(&ckpt_path(dir, j));
+                        if ok {
+                            JobStatus::Done
+                        } else {
+                            JobStatus::Failed("metrics not persisted".to_owned())
+                        }
+                    }
+                    Err(e) => JobStatus::Failed(e.to_string()),
+                };
+            }
+            let _ = mf.store(vfs, dir);
+        }
+        if cell_quarantined {
+            quarantined.lock().expect("poisoned").extend(group.iter());
+        }
+        let mut res = results.lock().expect("poisoned");
+        for &j in group {
+            res.as_mut_slice()[j] = Some(outcome.clone());
+        }
+    };
+
+    // One executor dispatch of one leader: a single attempt, with the
+    // verdict routing retries (requeue, never a sleeping worker),
+    // supervisor cancellations (requeue outside the retry budget), and
+    // terminal outcomes (fan-out).
+    let exec_run = |p: usize, ctx: &executor::ExecCtx<'_>| -> Verdict {
+        let i = leaders[p];
+        let fp = fingerprints[i];
+        let prep = prepared[p].get_or_init(|| prepare(i, fp));
+        let (verify, verify_sz, use_cache) = match prep {
+            Prepared::Serve(m) => {
+                finish(fp, Ok((**m).clone()), false);
+                return Verdict::Done { poisoned: false };
+            }
+            Prepared::Execute {
+                verify,
+                verify_sz,
+                use_cache,
+            } => (verify, *verify_sz, *use_cache),
+        };
+        let attempt = attempts[p].load(Ordering::Relaxed);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // A chaos plan's crash-looping job *class* panics inside the
+            // sweep's own guard, so it burns real attempt budget and
+            // terminates as a typed error + quarantined cell — the
+            // executor-side worker faults never touch that budget.
+            if let Some(plan) = &opts.executor.fault_plan {
+                if plan.crashes_job(i) {
+                    panic!("injected crash-loop (job {i}, attempt {attempt})");
+                }
+            }
+            run_attempt(
+                &jobs[i],
+                i,
+                attempt,
+                opts,
+                use_cache,
+                &tel,
+                Some(ctx.cancel),
+            )
+        }))
+        .unwrap_or_else(|payload| Err(RefsimError::Panicked(panic_message(payload.as_ref()))));
+        match r {
+            Ok(out) => {
+                if out.resumed {
+                    resumed_count.fetch_add(1, Ordering::Relaxed);
+                }
+                let outcome = if let Some(entry) = verify {
+                    let clean = out.metrics == entry.metrics && out.hash == Some(entry.replay_hash);
+                    if clean {
+                        bump(&|st| {
+                            st.hits += 1;
+                            st.verified += 1;
+                            st.bytes_read += verify_sz;
+                        });
+                    } else {
+                        // The fresh run wins; the stale entry is
+                        // overwritten.
+                        bump(&|st| st.verify_failures += 1);
+                        if let Some(cache) = &opts.cache {
+                            store_entry(cache, fp, &out, &stats_mx);
+                        }
+                    }
+                    Ok(out.metrics)
+                } else {
+                    if use_cache {
+                        if let Some(cache) = &opts.cache {
+                            store_entry(cache, fp, &out, &stats_mx);
+                        }
+                    }
+                    Ok(out.metrics)
+                };
+                finish(fp, outcome, false);
+                Verdict::Done { poisoned: false }
+            }
+            Err(RefsimError::Cancelled { .. }) => {
+                // A reclaimed straggler re-runs (from its checkpoint
+                // when one exists) without consuming the retry budget;
+                // the executor doubles its deadline and bounds how many
+                // cancellations one cell can absorb.
+                Verdict::Requeue {
+                    backoff: Duration::ZERO,
+                    poisoned: false,
+                    cancelled: true,
+                }
+            }
+            Err(e) => {
+                let poisoned = matches!(e, RefsimError::Panicked(_));
+                let retryable = is_retryable(&e);
+                if retryable && attempt < opts.max_retries {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    attempts[p].fetch_add(1, Ordering::Relaxed);
+                    // Exponential backoff as before — but requeued, so
+                    // the worker serves healthy cells while this one
+                    // waits out its delay.
+                    let backoff = opts
+                        .backoff
+                        .saturating_mul(1 << attempt.min(10))
+                        .min(Duration::from_secs(1));
+                    Verdict::Requeue {
+                        backoff,
+                        poisoned,
+                        cancelled: false,
+                    }
+                } else {
+                    finish(fp, Err(e), retryable);
+                    Verdict::Done { poisoned }
+                }
+            }
+        }
+    };
+
+    let exec_stats = executor::execute(&items, workers, &opts.executor, exec_run);
 
     let mut quarantined = quarantined.into_inner().expect("poisoned");
     quarantined.sort_unstable();
@@ -823,7 +928,26 @@ pub fn run_many_resilient(
         files_quarantined: tel.files_quarantined.into_inner(),
         ckpt_save_failures: tel.ckpt_save_failures.into_inner(),
         manifest_rebuilt,
+        executor: exec_stats,
     })
+}
+
+/// The once-per-leader cache decision, cached across executor requeues
+/// so a retried or cancelled dispatch never re-probes (or re-counts)
+/// the cache.
+#[derive(Debug)]
+enum Prepared {
+    /// Serve the cached metrics without executing.
+    Serve(Box<RunMetrics>),
+    /// Execute the cell.
+    Execute {
+        /// Sampled-audit entry the fresh run must reproduce bit-for-bit.
+        verify: Option<Box<CacheEntry>>,
+        /// On-disk size of the verify entry (for `bytes_read`).
+        verify_sz: u64,
+        /// Hash the result and store it back into the persistent cache.
+        use_cache: bool,
+    },
 }
 
 /// Persists a freshly executed result as a cache entry, folding byte

@@ -693,7 +693,10 @@ mod tests {
         // it via the checksum trailer and rebuild from metrics frames.
         let last_manifest_write = log
             .iter()
-            .filter(|r| r.op == IoOp::Write && r.path.to_string_lossy().contains("sweep.manifest"))
+            .filter(|r| {
+                r.op == crate::vfs::IoOp::Write
+                    && r.path.to_string_lossy().contains("sweep.manifest")
+            })
             .map(|r| r.index)
             .next_back()
             .expect("the sweep writes its manifest");

@@ -1,0 +1,248 @@
+//! End-to-end guarantees of the supervised work-stealing sweep
+//! executor:
+//!
+//! * result assembly is bit-identical across any worker count — the
+//!   executor decides *where* and *when* a cell runs, never *what* it
+//!   computes — for healthy, failing, and cache-served job sets, and it
+//!   stays bit-identical under an injected [`WorkerFaultPlan`];
+//! * the ISSUE acceptance scenario: with one worker hung and one job
+//!   class crash-looping, the sweep completes with every cell accounted
+//!   for (result, typed error, or quarantine record — never silent
+//!   loss), healthy cells match a clean single-threaded run, and
+//!   [`ExecutorStats`] reports the containment.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use refsim_core::error::RefsimError;
+use refsim_core::executor::{ExecutorOptions, WorkerFaultPlan};
+use refsim_core::experiment::Job;
+use refsim_core::prelude::*;
+use refsim_core::runcache::{job_fingerprint, RunCache};
+use refsim_core::sweep::{run_many_resilient, SweepOptions, SweepReport};
+use refsim_workloads::mix::WorkloadMix;
+use refsim_workloads::profiles::Benchmark;
+
+/// Worker counts the determinism proptests sweep: serial, even split,
+/// more workers than a typical host, more workers than jobs.
+const THREAD_MATRIX: [usize; 4] = [1, 2, 7, 16];
+
+fn tiny_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::table1().with_time_scale(4096).with_seed(seed);
+    cfg.warmup = cfg.trefw() / 8;
+    cfg.measure = cfg.trefw() / 2;
+    cfg
+}
+
+fn healthy_job(seed: u64) -> Job {
+    Job {
+        cfg: tiny_cfg(seed),
+        mix: WorkloadMix::from_groups(
+            "tiny",
+            &[(Benchmark::Stream, 2), (Benchmark::Povray, 2)],
+            "M + L",
+        ),
+    }
+}
+
+/// A job whose run deterministically fails (`EmptyWorkload`).
+fn broken_job(seed: u64) -> Job {
+    Job {
+        cfg: tiny_cfg(seed),
+        mix: WorkloadMix::from_groups("empty", &[], "-"),
+    }
+}
+
+/// Mixed healthy/error job set with a duplicated cell (exercises the
+/// in-flight dedup fan-out path under every worker count).
+fn mixed_jobs(base_seed: u64) -> Vec<Job> {
+    vec![
+        healthy_job(base_seed),
+        broken_job(base_seed.wrapping_add(1)),
+        healthy_job(base_seed.wrapping_add(2)),
+        healthy_job(base_seed),
+        healthy_job(base_seed.wrapping_add(3)),
+        broken_job(base_seed.wrapping_add(4)),
+    ]
+}
+
+fn tmp_cache(tag: &str) -> RunCache {
+    let d = std::env::temp_dir().join(format!("refsim-exec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    RunCache::new(d)
+}
+
+/// Debug strings are the bit-identity witness: they cover every metric
+/// field and the full error payload.
+fn outcome_fingerprints(rep: &SweepReport) -> Vec<String> {
+    rep.results.iter().map(|r| format!("{r:?}")).collect()
+}
+
+/// Replay hashes the sweep stored for each job, read back from its run
+/// cache (`None` for cells that failed and stored nothing).
+fn stored_replay_hashes(cache: &RunCache, jobs: &[Job]) -> Vec<Option<u64>> {
+    jobs.iter()
+        .map(|j| {
+            cache
+                .load(job_fingerprint(&j.cfg, &j.mix))
+                .map(|(entry, _)| entry.replay_hash)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Healthy + failing + duplicated cells produce bit-identical
+    /// results, retry counts, and quarantine lists at every worker
+    /// count.
+    #[test]
+    fn results_are_bit_identical_across_worker_counts(seed in 0u64..1024) {
+        let jobs = mixed_jobs(seed);
+        let reference = run_many_resilient(&jobs, 1, &SweepOptions::default())
+            .expect("sweep runs");
+        let want = outcome_fingerprints(&reference);
+        for threads in THREAD_MATRIX {
+            let rep = run_many_resilient(&jobs, threads, &SweepOptions::default())
+                .expect("sweep runs");
+            prop_assert_eq!(&outcome_fingerprints(&rep), &want, "threads={}", threads);
+            prop_assert_eq!(rep.quarantined, reference.quarantined);
+            prop_assert_eq!(rep.retries, reference.retries);
+        }
+    }
+
+    /// Every worker count populates a fresh cache with the same replay
+    /// hashes, and a warm re-run (cost-model-ordered dispatch, cells
+    /// served from disk) returns the same bytes as its cold run.
+    #[test]
+    fn cached_sweeps_are_bit_identical_across_worker_counts(seed in 0u64..1024) {
+        let jobs = mixed_jobs(seed);
+        let mut want: Option<(Vec<String>, Vec<Option<u64>>)> = None;
+        for threads in THREAD_MATRIX {
+            let cache = tmp_cache(&format!("m{threads}-{seed}"));
+            let opts = SweepOptions {
+                cache: Some(cache.clone()),
+                ..SweepOptions::default()
+            };
+            let cold = run_many_resilient(&jobs, threads, &opts).expect("cold sweep runs");
+            let hashes = stored_replay_hashes(&cache, &jobs);
+            let warm = run_many_resilient(&jobs, threads, &opts).expect("warm sweep runs");
+            prop_assert_eq!(
+                outcome_fingerprints(&warm),
+                outcome_fingerprints(&cold),
+                "warm serve must match the cold run at threads={}",
+                threads
+            );
+            match &want {
+                None => want = Some((outcome_fingerprints(&cold), hashes)),
+                Some((results, stored)) => {
+                    prop_assert_eq!(&outcome_fingerprints(&cold), results, "threads={}", threads);
+                    prop_assert_eq!(&hashes, stored, "replay hashes at threads={}", threads);
+                }
+            }
+        }
+    }
+
+    /// Hung and slow workers move cells between workers and through the
+    /// supervisor's reclaim path, but never change any result.
+    #[test]
+    fn fault_plan_never_changes_results(seed in 0u64..1024) {
+        let jobs = mixed_jobs(seed);
+        let reference = run_many_resilient(&jobs, 1, &SweepOptions::default())
+            .expect("sweep runs");
+        let want = outcome_fingerprints(&reference);
+        let opts = SweepOptions {
+            executor: ExecutorOptions {
+                deadline_floor: Duration::from_millis(25),
+                adaptive_factor: 4,
+                supervisor_tick: Duration::from_millis(2),
+                stall_cap: Duration::from_millis(500),
+                fault_plan: Some(WorkerFaultPlan {
+                    hung_workers: 1,
+                    hang_claims: 1,
+                    slow_workers: 1,
+                    slow_delay: Duration::from_millis(2),
+                    ..WorkerFaultPlan::quiet(seed)
+                }),
+                ..ExecutorOptions::default()
+            },
+            ..SweepOptions::default()
+        };
+        for threads in [2usize, 7] {
+            let rep = run_many_resilient(&jobs, threads, &opts).expect("faulted sweep runs");
+            prop_assert_eq!(&outcome_fingerprints(&rep), &want, "threads={}", threads);
+            prop_assert_eq!(rep.quarantined, reference.quarantined);
+        }
+    }
+}
+
+/// The ISSUE acceptance scenario. A seeded [`WorkerFaultPlan`] hangs
+/// one worker on every claim (until quarantined) and crash-loops one
+/// job class; the sweep must complete with every cell accounted for,
+/// healthy cells bit-identical to a clean single-threaded run, the
+/// crash-class cells surfacing as typed quarantined errors, and the
+/// stats reporting the worker quarantine and at least one deadline
+/// escalation.
+#[test]
+fn chaos_acceptance_hung_worker_and_crash_looping_job_class() {
+    let jobs: Vec<Job> = (0..6).map(|i| healthy_job(9000 + i)).collect();
+    let plan = WorkerFaultPlan {
+        hung_workers: 1,
+        hang_claims: 8, // hangs on every claim it can get; quarantine cuts it short
+        crash_job_period: 5, // jobs 0 and 5 crash-loop
+        ..WorkerFaultPlan::quiet(0x00AC_CE97)
+    };
+    let clean = run_many_resilient(&jobs, 1, &SweepOptions::default()).expect("clean sweep");
+    let opts = SweepOptions {
+        executor: ExecutorOptions {
+            deadline_floor: Duration::from_millis(25),
+            adaptive_factor: 4,
+            escalate_factor: 1,
+            supervisor_tick: Duration::from_millis(2),
+            stall_cap: Duration::from_secs(2),
+            max_worker_strikes: 2,
+            fault_plan: Some(plan),
+            ..ExecutorOptions::default()
+        },
+        ..SweepOptions::default()
+    };
+    let rep = run_many_resilient(&jobs, 4, &opts).expect("chaos sweep completes");
+
+    assert_eq!(rep.results.len(), jobs.len(), "no cell silently lost");
+    for (i, (chaos, reference)) in rep.results.iter().zip(&clean.results).enumerate() {
+        if plan.crashes_job(i) {
+            match chaos {
+                Err(RefsimError::Panicked(msg)) => assert!(
+                    msg.contains("injected crash-loop"),
+                    "cell {i} crash class: {msg}"
+                ),
+                other => panic!("crash-class cell {i} must end Panicked, got {other:?}"),
+            }
+            assert!(
+                rep.quarantined.contains(&i),
+                "crash-class cell {i} needs a quarantine record"
+            );
+        } else {
+            assert_eq!(
+                format!("{chaos:?}"),
+                format!("{reference:?}"),
+                "healthy cell {i} must match the clean single-threaded run"
+            );
+        }
+    }
+    assert!(
+        rep.executor.deadline_escalations >= 1,
+        "the hung worker must trip a deadline escalation: {}",
+        rep.executor.summary()
+    );
+    assert!(
+        rep.executor.worker_strikes >= 1,
+        "the hang must be charged to the worker: {}",
+        rep.executor.summary()
+    );
+    assert!(
+        rep.retries >= 2,
+        "each crash-class cell burns its retry budget (got {})",
+        rep.retries
+    );
+}
