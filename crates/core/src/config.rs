@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use refsim_cpu::core::CoreConfig;
-use refsim_dram::backend::BackendKind;
+use refsim_dram::backend::{BackendKind, TickPath};
 use refsim_dram::controller::ControllerConfig;
 use refsim_dram::geometry::Geometry;
 use refsim_dram::mapping::MappingScheme;
@@ -141,6 +141,16 @@ pub struct SystemConfig {
     /// negative control; runs with it set are never cached.
     #[serde(default)]
     pub shadow: ShadowConfig,
+    /// Hot-path implementation selector (see
+    /// [`refsim_dram::backend::TickPath`]). `Batched` — the
+    /// struct-of-arrays lane scan plus the batched core loop — by
+    /// default; `ScalarReference` preserves the pre-SoA walk verbatim as
+    /// a differential anchor. Both are bit-identical (proven by the
+    /// lane-equivalence suite), but the run cache still salts its
+    /// fingerprint with this knob so the paths never serve each other's
+    /// artifacts.
+    #[serde(default)]
+    pub tick_path: TickPath,
 }
 
 impl SystemConfig {
@@ -176,6 +186,7 @@ impl SystemConfig {
             debug_skip_overshoot: Ps::ZERO,
             backend: BackendKind::Primary,
             shadow: ShadowConfig::default(),
+            tick_path: TickPath::Batched,
         }
     }
 
@@ -291,6 +302,13 @@ impl SystemConfig {
     /// [`SystemConfig::backend`]).
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Selects the hot-path implementation (see
+    /// [`SystemConfig::tick_path`]).
+    pub fn with_tick_path(mut self, path: TickPath) -> Self {
+        self.tick_path = path;
         self
     }
 

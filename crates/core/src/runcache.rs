@@ -54,7 +54,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use refsim_dram::backend::BackendKind;
+use refsim_dram::backend::{BackendKind, TickPath};
 use refsim_dram::refresh::RefreshPolicyKind;
 use refsim_dram::time::Ps;
 use refsim_dram::timing::{Density, FgrMode, Retention};
@@ -78,8 +78,12 @@ pub const CACHE_VERSION: u32 = 1;
 /// entry. Bump on any semantic change the config encoding cannot
 /// express (e.g. a simulator behavior fix): all prior entries read as
 /// misses. v2: the backend-selection and shadow-perturbation knobs
-/// joined the fingerprint preimage.
-pub const CACHE_SCHEMA: u32 = 2;
+/// joined the fingerprint preimage. v3: the tick-path knob (batched
+/// vs. scalar-reference channel ticking) joined the preimage — the
+/// paths are bit-identical by construction, but the fingerprint keeps
+/// them distinguishable so an equivalence regression can never alias
+/// cache entries across them.
+pub const CACHE_SCHEMA: u32 = 3;
 
 /// Environment variable naming the shared cache directory.
 pub const CACHE_DIR_ENV: &str = "REFSIM_CACHE_DIR";
@@ -246,6 +250,14 @@ pub fn fingerprint_bytes(cfg: &SystemConfig, mix: &WorkloadMix) -> Vec<u8> {
         BackendKind::Shadow => 1,
     });
     e.put_u64(cfg.shadow.drop_refresh_every);
+    // Hot-path selector: the two paths are proven bit-identical, but a
+    // cached artifact still records which implementation produced it so
+    // a scalar-reference debug run can never serve (or be served by)
+    // batched results — same rule as `debug_skip_overshoot`.
+    e.put_u8(match cfg.tick_path {
+        TickPath::Batched => 0,
+        TickPath::ScalarReference => 1,
+    });
 
     // The mix: task list only. Benchmarks are encoded by name, which is
     // stable against enum reordering; the mix's display name and

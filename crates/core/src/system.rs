@@ -15,13 +15,13 @@ use std::collections::HashMap;
 
 use refsim_cpu::core::ExecContext;
 use refsim_cpu::hierarchy::{CacheHierarchy, HierOutcome};
-use refsim_dram::backend::{build_backend, MemoryBackend};
+use refsim_dram::backend::{build_backend, MemoryBackend, TickPath};
 use refsim_dram::controller::TraceEntry;
 use refsim_dram::mapping::AddressMapping;
 use refsim_dram::refresh::BusyForecast;
 use refsim_dram::request::{Completion, MemRequest, ReqId, ReqKind};
 use refsim_dram::time::Ps;
-use refsim_os::bank_alloc::{BankAwareAllocator, BankVector};
+use refsim_os::bank_alloc::{BankAwareAllocator, BankVector, PAGE_BYTES};
 use refsim_os::partition::{plan, PartitionInput, PartitionPlan};
 use refsim_os::sched::{SchedPolicy, Scheduler};
 use refsim_os::task::{Task as OsTask, TaskId, TaskState};
@@ -81,6 +81,11 @@ struct TaskSim {
     wl: TaskWorkload,
     ctx: ExecContext,
     pending: Option<PendingMem>,
+    /// One-entry TLB for the batched core loop: `(vpn, frame base)` of
+    /// the task's last translation. Purely an accelerator — mappings
+    /// only grow and never move, so a cached pair cannot go stale
+    /// within a run. Runtime-only: reset on restore, never saved.
+    tlb: Option<(u64, u64)>,
 }
 
 /// Per-core state.
@@ -249,6 +254,7 @@ impl System {
                     cfg.controller,
                     cfg.shadow,
                 );
+                mc.set_tick_path(cfg.tick_path);
                 if let Some(f) = &faults {
                     mc.inject_faults(f.clone());
                 }
@@ -291,6 +297,7 @@ impl System {
                 wl: TaskWorkload::new(bench, cfg.seed ^ (i as u64).wrapping_mul(0x9E3779B9)),
                 ctx: ExecContext::new(),
                 pending: None,
+                tlb: None,
             });
         }
         let cores = (0..cfg.n_cores)
@@ -932,6 +939,9 @@ impl System {
                 write: p.write,
                 dependent: p.dependent,
             });
+            // The restored page table may disagree with whatever the
+            // live run had cached; the TLB is rebuilt on demand.
+            sim.tlb = None;
         }
         self.sched.restore_state(&s.sched)?;
         self.alloc.restore_state(&s.alloc)?;
@@ -1254,6 +1264,9 @@ impl System {
     // ---- core execution ------------------------------------------------
 
     fn run_core(&mut self, c: usize, step_end: Ps) -> Result<(), RefsimError> {
+        if self.cfg.tick_path == TickPath::Batched {
+            return self.run_core_batched(c, step_end);
+        }
         loop {
             let Some(cur) = self.cores[c].current else {
                 return Ok(());
@@ -1271,6 +1284,74 @@ impl System {
                 return Ok(()); // blocked on a miss; completion will unblock
             }
             self.process_op(c, cur)?;
+        }
+    }
+
+    /// Batched mirror of the reference `run_core` loop.
+    ///
+    /// The per-op loop above pays four probes per instruction stream op
+    /// (current task, limit, back-pressure, stall); all four are loop
+    /// invariants except across a miss. This variant hoists them and
+    /// runs stall-check-free bursts: `issue_headroom` is positive
+    /// exactly when `stall()` is `None`, and between misses it falls by
+    /// exactly the per-op instruction count, so the reference loop's
+    /// per-op stall probe is redundant inside a burst. Every observable
+    /// effect (`ctx` accounting, cache state, request stream) is
+    /// bit-identical to the reference path.
+    fn run_core_batched(&mut self, c: usize, step_end: Ps) -> Result<(), RefsimError> {
+        let Some(cur) = self.cores[c].current else {
+            return Ok(());
+        };
+        let cur = cur as usize;
+        // Invariant across the whole call: nothing below reschedules
+        // this core or moves its quantum boundary.
+        let limit = step_end.min(self.cores[c].quantum_end);
+        loop {
+            if self.sims[cur].ctx.now() >= limit {
+                return Ok(());
+            }
+            // Retry back-pressured memory operations first.
+            if self.sims[cur].pending.is_some() && !self.flush_pending(c, cur) {
+                return Ok(()); // still full; wait for the controller to drain
+            }
+            let mut headroom = self.sims[cur].ctx.issue_headroom(&self.cfg.core);
+            if headroom == 0 {
+                return Ok(()); // blocked on a miss; completion will unblock
+            }
+            while headroom > 0 {
+                if self.sims[cur].ctx.now() >= limit {
+                    return Ok(());
+                }
+                let op = self.sims[cur].wl.next_op_fast();
+                self.sims[cur]
+                    .ctx
+                    .execute(&self.cfg.core, u64::from(op.non_mem));
+                headroom = headroom.saturating_sub(u64::from(op.non_mem));
+                let Some(m) = op.mem else {
+                    continue;
+                };
+                headroom = headroom.saturating_sub(1);
+                let paddr = self.translate_fast(cur, m.vaddr)?;
+                match self.cores[c].caches.access_fast(paddr, m.write) {
+                    HierOutcome::L1Hit => self.sims[cur].ctx.on_l1_hit(&self.cfg.core),
+                    HierOutcome::L2Hit => self.sims[cur].ctx.on_l2_hit(&self.cfg.core),
+                    HierOutcome::Miss {
+                        line_addr,
+                        writeback,
+                    } => {
+                        self.sims[cur].pending = Some(PendingMem {
+                            writeback,
+                            fill: Some(line_addr),
+                            write: m.write,
+                            dependent: m.dependent,
+                        });
+                        let _ = self.flush_pending(c, cur);
+                        // A miss rewires the stall state (MSHR entry,
+                        // maybe a dependent block); re-derive headroom.
+                        break;
+                    }
+                }
+            }
         }
     }
 
@@ -1333,6 +1414,24 @@ impl System {
         let now = sim.ctx.now();
         sim.ctx.set_now(now + self.cfg.fault_cost);
         Ok(t.mm.translate(vaddr).expect("just mapped"))
+    }
+
+    /// TLB-accelerated [`System::translate`]: consults the task's
+    /// one-entry translation cache before walking the page table.
+    /// Mappings only grow and never move (`AddressSpace::map` rejects
+    /// remaps), so a hit reproduces the page-table walk bit for bit.
+    #[inline]
+    fn translate_fast(&mut self, cur: usize, vaddr: u64) -> Result<u64, RefsimError> {
+        let vpn = vaddr / PAGE_BYTES;
+        let offset = vaddr % PAGE_BYTES;
+        if let Some((cached_vpn, frame_base)) = self.sims[cur].tlb {
+            if cached_vpn == vpn {
+                return Ok(frame_base + offset);
+            }
+        }
+        let paddr = self.translate(cur, vaddr)?;
+        self.sims[cur].tlb = Some((vpn, paddr - offset));
+        Ok(paddr)
     }
 
     /// Attempts to hand the task's pending memory operations to the

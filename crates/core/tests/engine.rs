@@ -91,6 +91,42 @@ fn engines_are_bit_identical_for_every_policy() {
     }
 }
 
+/// The batched tick path (SoA bank lanes + plan memo + fast core loop)
+/// is only allowed to be the default because it is bit-identical to the
+/// scalar reference walk: same `RunMetrics` and same final replay state
+/// hash for every refresh policy under *both* engines. Together with
+/// the engine equivalence above this pins the full 8-policy × 2-engine
+/// × 2-path matrix to a single behavior.
+#[test]
+fn tick_paths_are_bit_identical_for_every_policy_and_engine() {
+    use refsim_dram::backend::TickPath;
+    for policy in ALL_POLICIES {
+        for engine in [EngineKind::FixedStep, EngineKind::EventSkip] {
+            let base = quick(SystemConfig::table1())
+                .with_refresh(policy)
+                .with_engine(engine);
+            let mix = small_mix();
+
+            let (m_batch, h_batch) =
+                run_once(&base.clone().with_tick_path(TickPath::Batched), &mix);
+            let (m_scalar, h_scalar) = run_once(
+                &base.clone().with_tick_path(TickPath::ScalarReference),
+                &mix,
+            );
+            assert_eq!(
+                m_batch, m_scalar,
+                "RunMetrics diverged across tick paths under {policy:?}/{engine:?}"
+            );
+            assert_eq!(
+                h_batch.combined(),
+                h_scalar.combined(),
+                "replay hash diverged across tick paths under {policy:?}/{engine:?}: {:?}",
+                h_batch.first_diff(&h_scalar)
+            );
+        }
+    }
+}
+
 /// The sanitizer's Full-audit mode must stay quiet when the event-skip
 /// engine drives the machine — every event and quantum check holds on
 /// skipped spans exactly as on crawled ones.

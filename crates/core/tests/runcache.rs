@@ -126,7 +126,7 @@ fn duplicated_erroring_cell_fans_out_the_error() {
 #[test]
 fn fingerprint_matches_golden_hash() {
     let job = tiny_job(0xA5A5);
-    assert_eq!(job_fingerprint(&job.cfg, &job.mix), 0x7afc_7685_abbb_351b);
+    assert_eq!(job_fingerprint(&job.cfg, &job.mix), 0x7432_0623_c394_ebfa);
 }
 
 proptest! {
@@ -134,7 +134,7 @@ proptest! {
 
     /// Any single semantic knob change must move the fingerprint.
     #[test]
-    fn fingerprint_tracks_every_semantic_knob(knob in 0usize..10, v in 1u64..1000) {
+    fn fingerprint_tracks_every_semantic_knob(knob in 0usize..11, v in 1u64..1000) {
         let base = tiny_job(9);
         let mut cfg = base.cfg.clone();
         match knob {
@@ -176,6 +176,13 @@ proptest! {
                 // The perturbation knob bypasses the cache outright, but the
                 // fingerprint must still move so stale manifests can't alias.
                 cfg = cfg.with_shadow_drop_every(1 + v);
+            }
+            10 => {
+                // Batched and scalar-reference ticking are bit-identical
+                // by construction, but the fingerprint still separates
+                // them so an equivalence regression can never alias
+                // cache entries across the two paths.
+                cfg = cfg.with_tick_path(refsim_dram::backend::TickPath::ScalarReference);
             }
             _ => unreachable!(),
         }

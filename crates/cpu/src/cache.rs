@@ -244,12 +244,43 @@ impl Cache {
     }
 
     /// Line-aligns an address.
+    #[inline]
     pub fn line_addr(&self, addr: u64) -> u64 {
         addr >> self.offset_bits << self.offset_bits
     }
 
+    /// Absolute tag-store slot currently holding `addr`'s line, or
+    /// `None` when not resident. No LRU update, no allocation — pair
+    /// with [`Cache::touch`] for memoized repeat hits.
+    #[inline]
+    pub fn locate(&self, addr: u64) -> Option<usize> {
+        let (set, tag) = self.index(addr);
+        let base = set * self.cfg.ways as usize;
+        self.lines[base..base + self.cfg.ways as usize]
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .map(|way| base + way)
+    }
+
+    /// Replays exactly the hit half of [`Cache::access`] against a slot
+    /// obtained from [`Cache::locate`]: bumps the LRU clock, stamps the
+    /// line, merges the dirty bit, and counts a hit. The caller
+    /// guarantees the slot still holds the intended line — the batched
+    /// hierarchy path invalidates its memo on every outcome that can
+    /// move lines.
+    #[inline]
+    pub fn touch(&mut self, slot: usize, write: bool) {
+        self.tick += 1;
+        let line = &mut self.lines[slot];
+        debug_assert!(line.valid, "touch on an invalid slot");
+        line.stamp = self.tick;
+        line.dirty |= write;
+        self.stats.hits += 1;
+    }
+
     /// Looks up `addr`, allocating on miss (write-allocate); `write`
     /// marks the line dirty.
+    #[inline]
     pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
         self.tick += 1;
         let (set, tag) = self.index(addr);
@@ -313,6 +344,7 @@ impl Cache {
         None
     }
 
+    #[inline]
     fn index(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.offset_bits;
         (

@@ -211,6 +211,7 @@ impl ExecContext {
     }
 
     /// Core-local current time.
+    #[inline]
     pub fn now(&self) -> Ps {
         self.now
     }
@@ -255,6 +256,7 @@ impl ExecContext {
     }
 
     /// Advances through `n` non-memory instructions.
+    #[inline]
     pub fn execute(&mut self, cfg: &CoreConfig, n: u64) {
         self.issued += n;
         self.now += cfg.base_ppi * n;
@@ -262,11 +264,13 @@ impl ExecContext {
 
     /// Accounts one memory instruction that hit the L1 (fully pipelined —
     /// cost is part of the base CPI).
+    #[inline]
     pub fn on_l1_hit(&mut self, _cfg: &CoreConfig) {
         self.issued += 1;
     }
 
     /// Accounts one memory instruction that hit the L2.
+    #[inline]
     pub fn on_l2_hit(&mut self, cfg: &CoreConfig) {
         self.issued += 1;
         self.now += cfg.l2_hit_penalty;
@@ -301,6 +305,7 @@ impl ExecContext {
     }
 
     /// The stall currently binding, if any.
+    #[inline]
     pub fn stall(&self, cfg: &CoreConfig) -> Option<StallReason> {
         if let Some(id) = self.dependent_block {
             return Some(StallReason::Dependent(id));
@@ -317,6 +322,28 @@ impl ExecContext {
             }
         }
         None
+    }
+
+    /// How many further instructions (memory or not) can issue before any
+    /// stall could possibly bind, assuming no new miss is registered. The
+    /// batched core loop uses this to run stall-check-free bursts: while
+    /// the headroom covers the next op's instruction count, `stall()` is
+    /// guaranteed `None` at every intermediate decision point the
+    /// reference per-op loop would have checked.
+    ///
+    /// Zero means a stall binds right now (dependent block or MSHRs
+    /// full); `u64::MAX` means nothing outstanding can ever bind.
+    #[inline]
+    pub fn issue_headroom(&self, cfg: &CoreConfig) -> u64 {
+        if self.dependent_block.is_some() || self.outstanding.len() >= cfg.mshrs {
+            return 0;
+        }
+        match self.outstanding.iter().find(|o| o.is_load) {
+            // ROB fills when `issued - pos >= rob`: exactly
+            // `pos + rob - issued` more instructions may issue first.
+            Some(oldest_load) => (oldest_load.pos + cfg.rob).saturating_sub(self.issued),
+            None => u64::MAX,
+        }
     }
 
     /// Records the completion of request `id` at absolute instant `at`.
@@ -480,6 +507,38 @@ mod tests {
         assert_eq!(ctx.outstanding_count(), 1);
         ctx.on_completion(&c, ReqId(1), Ps::from_ns(20));
         assert_eq!(ctx.outstanding_count(), 0);
+    }
+
+    #[test]
+    fn issue_headroom_matches_stall_boundary() {
+        let c = cfg();
+        let mut ctx = ExecContext::new();
+        assert_eq!(ctx.issue_headroom(&c), u64::MAX, "nothing outstanding");
+        ctx.on_miss(&c, ReqId(1), true, false);
+        // Walk instruction by instruction: headroom must hit zero on
+        // exactly the instruction where stall() starts binding.
+        loop {
+            let headroom = ctx.issue_headroom(&c);
+            match ctx.stall(&c) {
+                None => assert!(headroom > 0, "stall-free ⇒ headroom > 0"),
+                Some(_) => {
+                    assert_eq!(headroom, 0);
+                    break;
+                }
+            }
+            ctx.execute(&c, 1);
+        }
+        ctx.on_completion(&c, ReqId(1), ctx.now());
+        assert_eq!(ctx.issue_headroom(&c), u64::MAX);
+        // MSHR exhaustion and dependent blocks zero the headroom.
+        let mut ctx = ExecContext::new();
+        for i in 0..c.mshrs as u64 {
+            ctx.on_miss(&c, ReqId(i), false, false);
+        }
+        assert_eq!(ctx.issue_headroom(&c), 0);
+        let mut ctx = ExecContext::new();
+        ctx.on_miss(&c, ReqId(1), true, true);
+        assert_eq!(ctx.issue_headroom(&c), 0);
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub struct CacheHierarchy {
     l1: Cache,
     l2: Cache,
     stats: HierStats,
+    /// Hot-line memo for [`CacheHierarchy::access_fast`]: the last line
+    /// that hit the L1 and the tag-store slot holding it. Runtime-only
+    /// acceleration state — never checkpointed, cleared on restore and
+    /// on every access that can move lines, so a stale slot can never be
+    /// touched.
+    hot: Option<(u64, usize)>,
 }
 
 impl CacheHierarchy {
@@ -62,6 +68,7 @@ impl CacheHierarchy {
             l1: Cache::new(l1),
             l2: Cache::new(l2),
             stats: HierStats::default(),
+            hot: None,
         }
     }
 
@@ -73,6 +80,9 @@ impl CacheHierarchy {
 
     /// Accesses `paddr`; `write` marks stores.
     pub fn access(&mut self, paddr: u64, write: bool) -> HierOutcome {
+        // Any full lookup can evict the memoized line; drop the memo so
+        // the fast path and this one can interleave freely.
+        self.hot = None;
         self.stats.accesses += 1;
         if self.l1.access(paddr, write).is_hit() {
             return HierOutcome::L1Hit;
@@ -97,6 +107,36 @@ impl CacheHierarchy {
                 }
             }
         }
+    }
+
+    /// Bit-identical twin of [`CacheHierarchy::access`] for the batched
+    /// core loop: consecutive hits to one L1 line — the dominant case in
+    /// hot-region-resident phases — skip the tag walk and replay the hit
+    /// bookkeeping via [`Cache::touch`]. Every other outcome falls back
+    /// to the full lookup and re-arms the memo, so counters, LRU order
+    /// and dirty bits evolve exactly as under `access`.
+    #[inline]
+    pub fn access_fast(&mut self, paddr: u64, write: bool) -> HierOutcome {
+        if let Some((line, slot)) = self.hot {
+            if self.l1.line_addr(paddr) == line {
+                self.stats.accesses += 1;
+                self.l1.touch(slot, write);
+                return HierOutcome::L1Hit;
+            }
+        }
+        let out = self.access(paddr, write);
+        // `access` allocates on every path, so the line is L1-resident
+        // now regardless of outcome; memoize only clean L1 hits — after
+        // an allocation the interesting next access is a different line
+        // anyway, and keeping the arm condition narrow keeps it obvious
+        // that a memoized slot was produced by an eviction-free lookup.
+        if matches!(out, HierOutcome::L1Hit) {
+            self.hot = self
+                .l1
+                .locate(paddr)
+                .map(|slot| (self.l1.line_addr(paddr), slot));
+        }
+        out
     }
 
     /// LLC misses per kilo-instruction given an instruction count.
@@ -142,6 +182,7 @@ impl CacheHierarchy {
     /// Reinstates state captured by [`CacheHierarchy::save_state`] into a
     /// hierarchy of the same shape.
     pub fn restore_state(&mut self, saved: &SavedHierarchy) -> Result<(), String> {
+        self.hot = None;
         self.l1.restore_state(&saved.l1)?;
         self.l2.restore_state(&saved.l2)?;
         self.stats = saved.stats;
@@ -215,6 +256,35 @@ mod tests {
         // And the L1 copy is gone too (inclusive-ish behavior).
         assert!(matches!(h.access(0, false), HierOutcome::Miss { .. }));
         assert_eq!(h.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn fast_access_is_bit_identical() {
+        let mut reference = CacheHierarchy::table1();
+        let mut fast = CacheHierarchy::table1();
+        // Deterministic mix of tight reuse (memo hits), set-conflict
+        // evictions and cold strides; interleave fast and plain calls on
+        // the fast hierarchy to exercise memo invalidation.
+        let mut x = 0x1234_5678_u64;
+        for i in 0..200_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = match x % 10 {
+                0..=5 => (x >> 32) % (24 * 1024),    // hot region
+                6..=7 => ((x >> 32) % 4) * 128 * 64, // L1 set 0 conflicts
+                _ => (x >> 16) % (256 << 20),        // cold sweep
+            };
+            let write = x.is_multiple_of(7);
+            let r = reference.access(addr, write);
+            let f = if i.is_multiple_of(17) {
+                fast.access(addr, write)
+            } else {
+                fast.access_fast(addr, write)
+            };
+            assert_eq!(r, f, "diverged at access {i} addr {addr:#x}");
+        }
+        assert_eq!(reference.save_state(), fast.save_state());
     }
 
     #[test]

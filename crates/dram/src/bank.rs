@@ -272,6 +272,300 @@ impl Default for Bank {
     }
 }
 
+/// Sentinel in [`BankLanes`]' open-row lane meaning "no row open".
+///
+/// Real row indices are bounded by the geometry's rows-per-bank (far
+/// below `u32::MAX`), so a single compare against the lane both tests
+/// row identity and excludes closed banks.
+pub const NO_ROW: u32 = u32::MAX;
+
+/// Struct-of-arrays timing state for every bank of one channel.
+///
+/// Semantically this is `Vec<Bank>` with the fields transposed: each
+/// field of [`Bank`] becomes one contiguous lane indexed by flat bank
+/// id. The controller's planner walks the hot lanes (`phase`,
+/// `open_row`, `next_cas`, `next_pre`, `next_act`, `busy_until`) as
+/// plain slices — a batched scan with no per-bank struct stride and no
+/// cold counter fields polluting the cache lines it touches — while the
+/// per-lane methods mirror [`Bank`]'s state machine operation for
+/// operation, so the two layouts stay observably identical (pinned by
+/// the `lanes_mirror_bank_exactly` test).
+///
+/// Checkpoints interoperate: [`save_lane`](BankLanes::save_lane) /
+/// [`restore_lane`](BankLanes::restore_lane) speak the same
+/// [`SavedBank`] image as [`Bank::save_state`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BankLanes {
+    phase: Vec<BankPhase>,
+    /// Open row per lane, [`NO_ROW`] when closed.
+    open_row: Vec<u32>,
+    next_act: Vec<Ps>,
+    next_pre: Vec<Ps>,
+    next_cas: Vec<Ps>,
+    busy_until: Vec<Ps>,
+    rows_refreshed: Vec<u64>,
+    refresh_busy_total: Vec<Ps>,
+    activations: Vec<u64>,
+}
+
+impl BankLanes {
+    /// `n` idle banks at time zero.
+    pub fn new(n: usize) -> Self {
+        BankLanes {
+            phase: vec![BankPhase::Idle; n],
+            open_row: vec![NO_ROW; n],
+            next_act: vec![Ps::ZERO; n],
+            next_pre: vec![Ps::ZERO; n],
+            next_cas: vec![Ps::ZERO; n],
+            busy_until: vec![Ps::ZERO; n],
+            rows_refreshed: vec![0; n],
+            refresh_busy_total: vec![Ps::ZERO; n],
+            activations: vec![0; n],
+        }
+    }
+
+    /// Number of banks.
+    pub fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Whether the channel has no banks (never true for real geometries).
+    pub fn is_empty(&self) -> bool {
+        self.phase.is_empty()
+    }
+
+    /// Current phase of lane `i`.
+    #[inline]
+    pub fn phase(&self, i: usize) -> BankPhase {
+        self.phase[i]
+    }
+
+    /// The row currently latched in lane `i`'s row buffer, if any.
+    #[inline]
+    pub fn open_row(&self, i: usize) -> Option<u32> {
+        (self.open_row[i] != NO_ROW).then_some(self.open_row[i])
+    }
+
+    /// Whether `row` is a row-buffer hit on lane `i`.
+    #[inline]
+    pub fn is_row_hit(&self, i: usize, row: u32) -> bool {
+        self.phase[i] == BankPhase::Active && self.open_row[i] == row
+    }
+
+    /// End of lane `i`'s in-progress refresh ([`Ps::ZERO`] when none).
+    #[inline]
+    pub fn refresh_end(&self, i: usize) -> Ps {
+        if self.phase[i] == BankPhase::Refreshing {
+            self.busy_until[i]
+        } else {
+            Ps::ZERO
+        }
+    }
+
+    /// Total time lane `i` has spent refreshing.
+    #[inline]
+    pub fn refresh_busy_total(&self, i: usize) -> Ps {
+        self.refresh_busy_total[i]
+    }
+
+    /// Rows lane `i` refreshed in the current retention window.
+    #[inline]
+    pub fn rows_refreshed(&self, i: usize) -> u64 {
+        self.rows_refreshed[i]
+    }
+
+    /// ACT commands issued to lane `i`.
+    #[inline]
+    pub fn activations(&self, i: usize) -> u64 {
+        self.activations[i]
+    }
+
+    /// Finishes lane `i`'s refresh once its end time has passed
+    /// (idempotent, mirrors [`Bank::settle`]).
+    #[inline]
+    pub fn settle(&mut self, i: usize, now: Ps) {
+        if self.phase[i] == BankPhase::Refreshing && now >= self.busy_until[i] {
+            self.phase[i] = BankPhase::Idle;
+        }
+    }
+
+    /// Earliest ACT on lane `i` (mirrors [`Bank::earliest_act`]).
+    #[inline]
+    pub fn earliest_act(&self, i: usize) -> Option<Ps> {
+        match self.phase[i] {
+            BankPhase::Active => None,
+            BankPhase::Refreshing => Some(self.busy_until[i].max(self.next_act[i])),
+            BankPhase::Idle => Some(self.next_act[i]),
+        }
+    }
+
+    /// Earliest column command for `row` on lane `i` (mirrors
+    /// [`Bank::earliest_cas`]).
+    #[inline]
+    pub fn earliest_cas(&self, i: usize, row: u32) -> Option<Ps> {
+        if self.phase[i] == BankPhase::Active && self.open_row[i] == row {
+            Some(self.next_cas[i])
+        } else {
+            None
+        }
+    }
+
+    /// Earliest PRE on lane `i` (mirrors [`Bank::earliest_pre`]).
+    #[inline]
+    pub fn earliest_pre(&self, i: usize) -> Option<Ps> {
+        if self.phase[i] == BankPhase::Active {
+            Some(self.next_pre[i])
+        } else {
+            None
+        }
+    }
+
+    /// Earliest refresh start on lane `i` (mirrors
+    /// [`Bank::earliest_refresh`]).
+    #[inline]
+    pub fn earliest_refresh(&self, i: usize) -> Option<Ps> {
+        match self.phase[i] {
+            BankPhase::Active => None,
+            BankPhase::Refreshing => Some(self.busy_until[i]),
+            BankPhase::Idle => Some(self.next_act[i]),
+        }
+    }
+
+    /// Issues an ACT on lane `i` (mirrors [`Bank::do_act`]).
+    #[inline]
+    pub fn do_act(&mut self, i: usize, at: Ps, row: u32, t: &TimingParams) {
+        debug_assert_eq!(self.phase[i], BankPhase::Idle, "ACT to non-idle bank");
+        debug_assert!(
+            at >= self.next_act[i],
+            "ACT at {at} before {}",
+            self.next_act[i]
+        );
+        self.phase[i] = BankPhase::Active;
+        self.open_row[i] = row;
+        self.next_cas[i] = at + t.trcd;
+        self.next_pre[i] = at + t.tras;
+        self.next_act[i] = at + t.trc;
+        self.activations[i] += 1;
+    }
+
+    /// Issues a RD on lane `i`; returns the last-data-beat instant
+    /// (mirrors [`Bank::do_read`]).
+    #[inline]
+    pub fn do_read(&mut self, i: usize, at: Ps, t: &TimingParams) -> Ps {
+        debug_assert_eq!(self.phase[i], BankPhase::Active, "RD to non-active bank");
+        debug_assert!(at >= self.next_cas[i]);
+        self.next_pre[i] = self.next_pre[i].max(at + t.trtp);
+        self.next_cas[i] = self.next_cas[i].max(at + t.tccd);
+        at + t.tcl + t.tburst
+    }
+
+    /// Issues a WR on lane `i`; returns the last-data-beat instant
+    /// (mirrors [`Bank::do_write`]).
+    #[inline]
+    pub fn do_write(&mut self, i: usize, at: Ps, t: &TimingParams) -> Ps {
+        debug_assert_eq!(self.phase[i], BankPhase::Active, "WR to non-active bank");
+        debug_assert!(at >= self.next_cas[i]);
+        let data_end = at + t.tcwl + t.tburst;
+        self.next_pre[i] = self.next_pre[i].max(data_end + t.twr);
+        self.next_cas[i] = self.next_cas[i].max(at + t.tccd);
+        data_end
+    }
+
+    /// Issues a PRE on lane `i` (mirrors [`Bank::do_pre`]).
+    #[inline]
+    pub fn do_pre(&mut self, i: usize, at: Ps, t: &TimingParams) {
+        debug_assert_eq!(self.phase[i], BankPhase::Active, "PRE to non-active bank");
+        debug_assert!(
+            at >= self.next_pre[i],
+            "PRE at {at} before {}",
+            self.next_pre[i]
+        );
+        self.phase[i] = BankPhase::Idle;
+        self.open_row[i] = NO_ROW;
+        self.next_act[i] = self.next_act[i].max(at + t.trp);
+    }
+
+    /// Starts a refresh on lane `i` (mirrors [`Bank::do_refresh`]).
+    #[inline]
+    pub fn do_refresh(&mut self, i: usize, at: Ps, trfc: Ps, rows: u32) {
+        debug_assert_eq!(self.phase[i], BankPhase::Idle, "REF to non-idle bank");
+        debug_assert!(at >= self.next_act[i]);
+        self.phase[i] = BankPhase::Refreshing;
+        self.busy_until[i] = at + trfc;
+        self.next_act[i] = at + trfc;
+        self.rows_refreshed[i] += u64::from(rows);
+        self.refresh_busy_total[i] += trfc;
+    }
+
+    // Lane slices for the batched planner. Callers treat them as
+    // read-only snapshots between mutations.
+
+    /// Per-lane phases.
+    #[inline]
+    pub fn phase_lanes(&self) -> &[BankPhase] {
+        &self.phase
+    }
+
+    /// Per-lane open rows ([`NO_ROW`] when closed).
+    #[inline]
+    pub fn row_lanes(&self) -> &[u32] {
+        &self.open_row
+    }
+
+    /// Per-lane earliest-CAS floors (meaningful while Active).
+    #[inline]
+    pub fn cas_lanes(&self) -> &[Ps] {
+        &self.next_cas
+    }
+
+    /// Per-lane earliest-PRE floors (meaningful while Active).
+    #[inline]
+    pub fn pre_lanes(&self) -> &[Ps] {
+        &self.next_pre
+    }
+
+    /// Per-lane earliest-ACT floors (pre-max with `busy_until` via
+    /// [`earliest_act`](BankLanes::earliest_act) while Refreshing).
+    #[inline]
+    pub fn act_lanes(&self) -> &[Ps] {
+        &self.next_act
+    }
+
+    /// Per-lane refresh-end instants (meaningful while Refreshing).
+    #[inline]
+    pub fn busy_lanes(&self) -> &[Ps] {
+        &self.busy_until
+    }
+
+    /// Captures lane `i` in the [`SavedBank`] checkpoint image.
+    pub fn save_lane(&self, i: usize) -> SavedBank {
+        SavedBank {
+            phase: self.phase[i],
+            open_row: self.open_row(i),
+            next_act: self.next_act[i],
+            next_pre: self.next_pre[i],
+            next_cas: self.next_cas[i],
+            busy_until: self.busy_until[i],
+            rows_refreshed: self.rows_refreshed[i],
+            refresh_busy_total: self.refresh_busy_total[i],
+            activations: self.activations[i],
+        }
+    }
+
+    /// Reinstates lane `i` from a [`SavedBank`] image.
+    pub fn restore_lane(&mut self, i: usize, saved: &SavedBank) {
+        self.phase[i] = saved.phase;
+        self.open_row[i] = saved.open_row.unwrap_or(NO_ROW);
+        self.next_act[i] = saved.next_act;
+        self.next_pre[i] = saved.next_pre;
+        self.next_cas[i] = saved.next_cas;
+        self.busy_until[i] = saved.busy_until;
+        self.rows_refreshed[i] = saved.rows_refreshed;
+        self.refresh_busy_total[i] = saved.refresh_busy_total;
+        self.activations[i] = saved.activations;
+    }
+}
+
 /// Rank-wide timing constraints.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RankState {
@@ -486,6 +780,79 @@ mod tests {
         b.reset_refresh_window();
         assert_eq!(b.rows_refreshed(), 0);
         assert_eq!(b.refresh_busy_total(), Ps::from_ns(100));
+    }
+
+    #[test]
+    fn lanes_mirror_bank_exactly() {
+        // Drive a scalar Bank and one BankLanes lane through the same
+        // pseudo-random legal command stream; every observable (queries,
+        // returned data-end instants, checkpoint images) must agree at
+        // every step.
+        let tp = t();
+        let trfc = Ps::from_ns(387);
+        let mut b = Bank::new();
+        let mut l = BankLanes::new(4); // exercise a non-zero lane
+        let lane = 2;
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut now = Ps::ZERO;
+        for step in 0..20_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            now += Ps::from_ns((x >> 58) + 1);
+            b.settle(now);
+            l.settle(lane, now);
+            let row = ((x >> 32) % 64) as u32;
+            assert_eq!(b.phase(), l.phase(lane), "step {step}");
+            assert_eq!(b.open_row(), l.open_row(lane));
+            assert_eq!(b.is_row_hit(row), l.is_row_hit(lane, row));
+            assert_eq!(b.refresh_end(), l.refresh_end(lane));
+            assert_eq!(b.earliest_act(), l.earliest_act(lane));
+            assert_eq!(b.earliest_cas(row), l.earliest_cas(lane, row));
+            assert_eq!(b.earliest_pre(), l.earliest_pre(lane));
+            assert_eq!(b.earliest_refresh(), l.earliest_refresh(lane));
+            match b.phase() {
+                BankPhase::Active => match x % 4 {
+                    0 => {
+                        let at = b.earliest_pre().unwrap().max(now);
+                        b.do_pre(at, &tp);
+                        l.do_pre(lane, at, &tp);
+                    }
+                    1 => {
+                        let open = b.open_row().unwrap();
+                        let at = b.earliest_cas(open).unwrap().max(now);
+                        assert_eq!(b.do_read(at, &tp), l.do_read(lane, at, &tp));
+                    }
+                    _ => {
+                        let open = b.open_row().unwrap();
+                        let at = b.earliest_cas(open).unwrap().max(now);
+                        assert_eq!(b.do_write(at, &tp), l.do_write(lane, at, &tp));
+                    }
+                },
+                BankPhase::Idle => {
+                    let at = b.earliest_act().unwrap().max(now);
+                    if x.is_multiple_of(3) {
+                        b.do_refresh(at, trfc, 8);
+                        l.do_refresh(lane, at, trfc, 8);
+                    } else {
+                        b.do_act(at, row, &tp);
+                        l.do_act(lane, at, row, &tp);
+                    }
+                }
+                BankPhase::Refreshing => {}
+            }
+            assert_eq!(b.save_state(), l.save_lane(lane), "step {step}");
+        }
+        // Untouched lanes stayed pristine, and checkpoints round-trip
+        // across layouts.
+        assert_eq!(l.save_lane(0), Bank::new().save_state());
+        let img = b.save_state();
+        let mut l2 = BankLanes::new(1);
+        l2.restore_lane(0, &img);
+        assert_eq!(l2.save_lane(0), img);
+        let mut b2 = Bank::new();
+        b2.restore_state(&l.save_lane(lane));
+        assert_eq!(b2.save_state(), img);
     }
 
     #[test]

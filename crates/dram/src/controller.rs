@@ -11,12 +11,15 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::bank::{Bank, BankPhase, RankState, SavedBank, SavedRank};
+use crate::backend::TickPath;
+use crate::bank::{BankLanes, BankPhase, RankState, SavedBank, SavedRank, NO_ROW};
 use crate::error::{ControllerSnapshot, DramError};
 use crate::geometry::BankId;
 use crate::integrity::{IntegrityConfig, RefreshFaults, RetentionTracker, SavedTracker};
 use crate::mapping::AddressMapping;
-use crate::refresh::{BusyForecast, QueueSnapshot, RefreshOp, RefreshPolicy, RefreshPolicyKind};
+use crate::refresh::{
+    BusyForecast, PolicyTable, QueueSnapshot, RefreshOp, RefreshPolicy, RefreshPolicyKind,
+};
 use crate::request::{Completion, MemRequest, ReqId, ReqKind};
 use crate::stats::ControllerStats;
 use crate::time::Ps;
@@ -220,6 +223,39 @@ struct PendingRefresh {
     injected_delay: Ps,
 }
 
+/// Serving-queue depth at or below which the batched tick plans via
+/// the scalar walk instead of the lane scan: the scan's fixed setup
+/// (rank floors + a full `act_floor` pass) beats the walk only once a
+/// handful of entries share it. Only the queue FR-FCFS is actually
+/// serving counts — a deep write queue behind a read-serving walk
+/// contributes no per-entry work.
+const SMALL_PLAN_QUEUE: usize = 6;
+
+/// A memoized planning decision: the result of [`MemoryController::plan`]
+/// at a given cursor, valid until the next state mutation.
+#[derive(Debug, Clone, Copy)]
+struct PlanCache {
+    /// Cursor the plan was computed at.
+    cursor: Ps,
+    /// The cached decision.
+    result: Option<(Ps, Action)>,
+}
+
+/// Reusable scratch for the batched planner: per-rank issue floors
+/// hoisted out of the queue walk (every entry on a rank shares them).
+/// Kept on the controller so steady-state planning allocates nothing.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    /// Earliest ACT per rank (tRRD / tFAW window / refresh lockout).
+    rank_act: Vec<Ps>,
+    /// Earliest CAS issue per rank for the direction being served
+    /// (turnaround + data-bus handoff, minus the CAS latency).
+    rank_cas: Vec<Ps>,
+    /// Earliest-ACT floor per bank ([`Ps::MAX`]-sentinel for Active
+    /// banks, which must precharge first).
+    act_floor: Vec<Ps>,
+}
+
 /// The next thing the controller will do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Action {
@@ -280,9 +316,19 @@ pub struct MemoryController {
     policy: Box<dyn RefreshPolicy>,
     cfg: ControllerConfig,
 
-    banks: Vec<Bank>,
+    lanes: BankLanes,
     ranks: Vec<RankState>,
     banks_per_rank: u32,
+
+    /// Which planner runs ([`TickPath::Batched`] lanes scan by default;
+    /// the scalar reference walk is the bit-identity anchor).
+    tick_path: TickPath,
+    /// Cached decision table of the active refresh policy.
+    policy_table: PolicyTable,
+    /// Memoized plan, invalidated on any mutation or cursor change.
+    plan_cache: Option<PlanCache>,
+    /// Allocation-free scratch for the batched planner.
+    scratch: PlanScratch,
 
     read_q: Vec<Entry>,
     write_q: Vec<Entry>,
@@ -333,15 +379,20 @@ impl MemoryController {
                 Self::default_integrity_config(&refresh_timing),
             )
         });
+        let policy_table = policy.table();
         MemoryController {
             mapping,
             timing,
             refresh_timing,
             policy,
             cfg,
-            banks: (0..n_banks).map(|_| Bank::new()).collect(),
+            lanes: BankLanes::new(n_banks),
             ranks: (0..g.ranks_per_channel).map(|_| RankState::new()).collect(),
             banks_per_rank: g.banks_per_rank,
+            tick_path: TickPath::default(),
+            policy_table,
+            plan_cache: None,
+            scratch: PlanScratch::default(),
             read_q: Vec::with_capacity(cfg.read_queue),
             write_q: Vec::with_capacity(cfg.write_queue),
             draining: false,
@@ -452,6 +503,7 @@ impl MemoryController {
             t.set_weak_rows(&faults.weak_rows);
         }
         self.faults = faults;
+        self.plan_cache = None;
     }
 
     /// Runs the end-of-run retention audit at `now` and returns the
@@ -491,6 +543,21 @@ impl MemoryController {
         self.stats.reset();
     }
 
+    /// Selects which planner the controller runs: the batched
+    /// [`BankLanes`] scan (default) or the scalar reference walk kept as
+    /// the bit-identity anchor. Both produce identical command schedules
+    /// — the knob exists so equivalence tests and benchmarks can pit
+    /// them against each other.
+    pub fn set_tick_path(&mut self, path: TickPath) {
+        self.tick_path = path;
+        self.plan_cache = None;
+    }
+
+    /// The active tick path.
+    pub fn tick_path(&self) -> TickPath {
+        self.tick_path
+    }
+
     /// The refresh-schedule forecast for `[start, end)` — the co-design's
     /// HW→SW interface (§5.1).
     pub fn refresh_forecast(&self, start: Ps, end: Ps) -> BusyForecast {
@@ -507,15 +574,13 @@ impl MemoryController {
     /// visualizing how partitioning confines traffic and how the refresh
     /// schedule distributes bank lockout.
     pub fn bank_report(&self) -> Vec<(BankId, u64, u64, Ps)> {
-        self.banks
-            .iter()
-            .enumerate()
-            .map(|(f, b)| {
+        (0..self.lanes.len())
+            .map(|f| {
                 (
                     BankId::from_flat(f as u32, self.banks_per_rank),
-                    b.activations(),
-                    b.rows_refreshed(),
-                    b.refresh_busy_total(),
+                    self.lanes.activations(f),
+                    self.lanes.rows_refreshed(f),
+                    self.lanes.refresh_busy_total(f),
                 )
             })
             .collect()
@@ -566,6 +631,7 @@ impl MemoryController {
                     return Err(QueueFull);
                 }
                 self.stats.reads_enqueued += 1;
+                self.plan_cache = None;
                 let mut e = Entry::new(req);
                 e.refresh_blocked = self.arrives_into_refresh(&req);
                 self.read_q.push(e);
@@ -576,6 +642,7 @@ impl MemoryController {
                     return Err(QueueFull);
                 }
                 self.stats.writes_enqueued += 1;
+                self.plan_cache = None;
                 let mut e = Entry::new(req);
                 e.refresh_blocked = self.arrives_into_refresh(&req);
                 self.write_q.push(e);
@@ -761,7 +828,9 @@ impl MemoryController {
             refresh_blocked: e.refresh_blocked,
         };
         SavedController {
-            banks: self.banks.iter().map(Bank::save_state).collect(),
+            banks: (0..self.lanes.len())
+                .map(|f| self.lanes.save_lane(f))
+                .collect(),
             ranks: self.ranks.iter().map(RankState::save_state).collect(),
             read_q: self.read_q.iter().map(save_entry).collect(),
             write_q: self.write_q.iter().map(save_entry).collect(),
@@ -798,11 +867,11 @@ impl MemoryController {
     /// when an error is returned; callers treat that as fatal and
     /// discard it.
     pub fn restore_state(&mut self, s: &SavedController) -> Result<(), String> {
-        if s.banks.len() != self.banks.len() {
+        if s.banks.len() != self.lanes.len() {
             return Err(format!(
                 "bank count mismatch: saved {}, controller {}",
                 s.banks.len(),
-                self.banks.len()
+                self.lanes.len()
             ));
         }
         if s.ranks.len() != self.ranks.len() {
@@ -846,8 +915,8 @@ impl MemoryController {
                 ));
             }
         }
-        for (b, saved) in self.banks.iter_mut().zip(&s.banks) {
-            b.restore_state(saved);
+        for (f, saved) in s.banks.iter().enumerate() {
+            self.lanes.restore_lane(f, saved);
         }
         for (r, saved) in self.ranks.iter_mut().zip(&s.ranks) {
             r.restore_state(saved);
@@ -896,6 +965,7 @@ impl MemoryController {
         self.completions = s.completions.clone();
         self.stats = s.stats.clone();
         self.refresh_seq = s.refresh_seq;
+        self.plan_cache = None;
         Ok(())
     }
 
@@ -904,7 +974,7 @@ impl MemoryController {
     /// Whether `req` arrives while its bank (or rank) is mid-refresh.
     fn arrives_into_refresh(&self, req: &MemRequest) -> bool {
         let flat = self.flat(req.loc.bank_id());
-        self.banks[flat].refresh_end() > req.arrival
+        self.lanes.refresh_end(flat) > req.arrival
             || self.ranks[req.loc.rank as usize].is_refreshing(req.arrival)
     }
 
@@ -942,7 +1012,7 @@ impl MemoryController {
     }
 
     fn snapshot(&self) -> QueueSnapshot {
-        let mut per_bank_queued = vec![0u32; self.banks.len()];
+        let mut per_bank_queued = vec![0u32; self.lanes.len()];
         for e in self.read_q.iter().chain(self.write_q.iter()) {
             per_bank_queued[self.flat(e.req.loc.bank_id())] += 1;
         }
@@ -954,6 +1024,17 @@ impl MemoryController {
 
     fn roll_epochs(&mut self, now: Ps) {
         let epoch = self.cfg.utilization_epoch;
+        if self.epoch_start + epoch > now {
+            return; // nothing to roll — the overwhelmingly common case
+        }
+        // Rolling can change last_utilization and (for adaptive-style
+        // policies) the refresh schedule itself.
+        self.plan_cache = None;
+        // Decision table: the utilization callback is a no-op for every
+        // policy that does not observe it — skip the virtual dispatch on
+        // the batched path.
+        let skip_observe =
+            self.tick_path == TickPath::Batched && !self.policy_table.observes_utilization;
         while self.epoch_start + epoch <= now {
             let busy = self.epoch_bus_busy.min(epoch);
             self.last_utilization = busy.as_ps() as f64 / epoch.as_ps() as f64;
@@ -961,7 +1042,9 @@ impl MemoryController {
             self.epoch_start += epoch;
             let u = self.last_utilization;
             let t = self.epoch_start;
-            self.policy.observe_utilization(u, t);
+            if !skip_observe {
+                self.policy.observe_utilization(u, t);
+            }
         }
     }
 
@@ -985,22 +1068,58 @@ impl MemoryController {
         free.saturating_sub(lat)
     }
 
-    /// Computes the controller's next action and its issue time.
+    /// Computes the controller's next action and its issue time,
+    /// dispatching on the active [`TickPath`].
+    ///
+    /// On the batched path the decision is memoized: planning is pure in
+    /// everything but the idempotent in-scope settles, so the result
+    /// stays valid until the cursor moves or state mutates (enqueue,
+    /// execute, epoch roll, restore — each clears the memo). This
+    /// removes the double planning pass the engines otherwise pay per
+    /// step (`next_event_time` followed by the advance itself).
     fn plan(&mut self) -> Option<(Ps, Action)> {
-        let mut best: Option<(Ps, u8, Action)> = None; // (time, priority, action)
-        let consider = |cand: Option<(Ps, u8, Action)>, best: &mut Option<(Ps, u8, Action)>| {
-            if let Some((t, p, a)) = cand {
-                let better = match best {
-                    None => true,
-                    Some((bt, bp, _)) => t < *bt || (t == *bt && p < *bp),
-                };
-                if better {
-                    *best = Some((t, p, a));
+        match self.tick_path {
+            TickPath::Batched => {
+                if let Some(c) = &self.plan_cache {
+                    if c.cursor == self.cursor {
+                        return c.result;
+                    }
                 }
+                // Planner selection by occupancy: the batched scan
+                // pre-computes per-rank floors and a full `act_floor`
+                // lane pass, a fixed cost that only amortizes once the
+                // walk visits enough queue entries. Near-empty queues
+                // (the stall-serialized regime: one or two dependent
+                // loads in flight) plan cheaper through the scalar
+                // walk. Both planners are bit-identical, so this is a
+                // pure cost choice; the memo covers either result.
+                let serving_depth = if self.draining || self.read_q.is_empty() {
+                    self.write_q.len()
+                } else {
+                    self.read_q.len()
+                };
+                let result = if serving_depth <= SMALL_PLAN_QUEUE {
+                    self.plan_reference()
+                } else {
+                    self.plan_batched()
+                };
+                self.plan_cache = Some(PlanCache {
+                    cursor: self.cursor,
+                    result,
+                });
+                result
             }
-        };
+            TickPath::ScalarReference => self.plan_reference(),
+        }
+    }
 
-        // Refresh machinery (priority 0).
+    /// Considers refresh machinery (priority 0) for either planner:
+    /// settles in-scope banks at the cursor, proposes PREs for open
+    /// in-scope banks, and proposes the refresh itself once the scope is
+    /// idle. `consider`-equivalent tie-breaking is preserved by visiting
+    /// candidates in the same order as the original single-pass walk.
+    fn plan_refresh_candidates(&mut self, best: &mut Option<(Ps, u8, Action)>) {
+        let consider = Self::consider;
         if let Some(p) = &self.pending_refresh {
             let op = p.op;
             // Injected delay shifts the issue instant; the schedule and
@@ -1009,24 +1128,24 @@ impl MemoryController {
             let (lo, hi) = self.refresh_scope(&op);
             // Settle any finished refreshes in scope before inspecting.
             for f in lo..hi {
-                self.banks[f].settle(self.cursor);
+                self.lanes.settle(f, self.cursor);
             }
             // Precharge open banks in scope first.
             let mut all_idle = true;
             let mut ready = earliest;
             for f in lo..hi {
-                match self.banks[f].phase() {
+                match self.lanes.phase(f) {
                     BankPhase::Active => {
                         all_idle = false;
                         // Active banks always report an earliest-PRE
                         // instant; a None here would mean the phase
                         // machine desynchronized — skip the bank and let
                         // the livelock watchdog surface the stall.
-                        if let Some(pre) = self.banks[f].earliest_pre() {
+                        if let Some(pre) = self.lanes.earliest_pre(f) {
                             let t = self.align(pre);
                             consider(
                                 Some((t.max(earliest), 0, Action::PreForRefresh { flat: f })),
-                                &mut best,
+                                best,
                             );
                         }
                         // Only plan one PRE at a time (command bus serializes
@@ -1034,10 +1153,10 @@ impl MemoryController {
                     }
                     BankPhase::Refreshing => {
                         all_idle = false;
-                        ready = ready.max(self.banks[f].refresh_end());
+                        ready = ready.max(self.lanes.refresh_end(f));
                     }
                     BankPhase::Idle => {
-                        if let Some(r) = self.banks[f].earliest_refresh() {
+                        if let Some(r) = self.lanes.earliest_refresh(f) {
                             ready = ready.max(r);
                         }
                     }
@@ -1045,14 +1164,37 @@ impl MemoryController {
             }
             if all_idle {
                 let t = self.align(ready);
-                consider(Some((t, 0, Action::IssueRefresh)), &mut best);
+                consider(Some((t, 0, Action::IssueRefresh)), best);
             }
         } else if let Some(due) = self.policy.next_due() {
-            consider(
-                Some((due.max(self.cursor), 0, Action::SelectRefresh)),
-                &mut best,
-            );
+            consider(Some((due.max(self.cursor), 0, Action::SelectRefresh)), best);
         }
+    }
+
+    /// FR-FCFS tie-breaking: earliest time wins, then lowest priority
+    /// class, then first-considered (queue order).
+    fn consider(cand: Option<(Ps, u8, Action)>, best: &mut Option<(Ps, u8, Action)>) {
+        if let Some((t, p, a)) = cand {
+            let better = match best {
+                None => true,
+                Some((bt, bp, _)) => t < *bt || (t == *bt && p < *bp),
+            };
+            if better {
+                *best = Some((t, p, a));
+            }
+        }
+    }
+
+    /// The scalar reference planner: the pre-batching walk, reading one
+    /// bank's state at a time through the per-lane accessors. Kept
+    /// verbatim as the bit-identity and performance anchor for
+    /// [`plan_batched`](Self::plan_batched) (selected via
+    /// [`TickPath::ScalarReference`]).
+    fn plan_reference(&mut self) -> Option<(Ps, Action)> {
+        let mut best: Option<(Ps, u8, Action)> = None; // (time, priority, action)
+
+        // Refresh machinery (priority 0).
+        self.plan_refresh_candidates(&mut best);
 
         // Transaction scheduling: FR-FCFS over the active queue.
         let serving_writes = self.draining || self.read_q.is_empty();
@@ -1067,15 +1209,16 @@ impl MemoryController {
                 continue; // scope frozen until the refresh issues
             }
             let rank = e.req.loc.rank;
-            let bank = &self.banks[flat];
             let rk = &self.ranks[rank as usize];
             let is_write = !e.req.is_read();
             // A request cannot be serviced before it arrives (cores may
             // run slightly ahead of the controller cursor).
             let arr = e.req.arrival;
             // Row hit → CAS (priority 1: first-ready-FCFS).
-            if bank.phase() == BankPhase::Active && bank.is_row_hit(e.req.loc.row) {
-                let Some(cas0) = bank.earliest_cas(e.req.loc.row) else {
+            if self.lanes.phase(flat) == BankPhase::Active
+                && self.lanes.is_row_hit(flat, e.req.loc.row)
+            {
+                let Some(cas0) = self.lanes.earliest_cas(flat, e.req.loc.row) else {
                     continue; // phase/row-hit disagree: skip, don't abort
                 };
                 let rank_ready = if is_write {
@@ -1093,22 +1236,128 @@ impl MemoryController {
                         .max(self.bus_ready_cas(rank, lat))
                         .max(arr),
                 );
-                consider(Some((t, 1, Action::Cas { idx, flat })), &mut best);
-            } else if bank.phase() == BankPhase::Active {
+                Self::consider(Some((t, 1, Action::Cas { idx, flat })), &mut best);
+            } else if self.lanes.phase(flat) == BankPhase::Active {
                 // Row conflict → PRE (priority 2, FCFS order by queue pos).
-                let Some(pre) = bank.earliest_pre() else {
+                let Some(pre) = self.lanes.earliest_pre(flat) else {
                     continue;
                 };
                 let t = self.align(pre.max(arr));
-                consider(Some((t, 2, Action::Pre { idx, flat })), &mut best);
+                Self::consider(Some((t, 2, Action::Pre { idx, flat })), &mut best);
             } else {
                 // Idle or refreshing → ACT when possible.
-                let act0 = match bank.earliest_act() {
+                let act0 = match self.lanes.earliest_act(flat) {
                     Some(t) => t,
                     None => continue,
                 };
                 let t = self.align(act0.max(rk.earliest_act(&self.timing)).max(arr));
-                consider(Some((t, 2, Action::Act { idx, flat })), &mut best);
+                Self::consider(Some((t, 2, Action::Act { idx, flat })), &mut best);
+            }
+        }
+
+        best.map(|(t, _, a)| (t, a))
+    }
+
+    /// The batched planner: the same decision procedure as
+    /// [`plan_reference`](Self::plan_reference), restructured around the
+    /// [`BankLanes`] arrays. Per-bank ready-times are computed by one
+    /// contiguous scan over the lanes, and per-rank issue floors (tFAW
+    /// window, turnaround, data-bus handoff) are hoisted out of the
+    /// queue walk — the reference walk recomputes both per queue entry.
+    /// Candidate visit order matches the reference walk exactly, so
+    /// tie-breaking (and therefore the command schedule) is
+    /// bit-identical; the `dram/tests/lanes.rs` suite enforces this
+    /// across every refresh policy.
+    fn plan_batched(&mut self) -> Option<(Ps, Action)> {
+        let mut best: Option<(Ps, u8, Action)> = None; // (time, priority, action)
+
+        // Refresh machinery (priority 0) — shared with the reference
+        // planner; the scope spans at most one rank's lanes.
+        self.plan_refresh_candidates(&mut best);
+
+        let serving_writes = self.draining || self.read_q.is_empty();
+        let queue: &[Entry] = if serving_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
+        if queue.is_empty() {
+            return best.map(|(t, _, a)| (t, a));
+        }
+
+        // Hoist per-rank floors: every entry on a rank shares them.
+        let lat = if serving_writes {
+            self.timing.tcwl
+        } else {
+            self.timing.tcl
+        };
+        let data_bus_free = self.data_bus_free;
+        let data_bus_owner = self.data_bus_owner;
+        let trtrs = self.timing.trtrs;
+        self.scratch.rank_act.clear();
+        self.scratch.rank_cas.clear();
+        for (r, rk) in self.ranks.iter().enumerate() {
+            self.scratch.rank_act.push(rk.earliest_act(&self.timing));
+            let rank_ready = if serving_writes {
+                rk.earliest_wr()
+            } else {
+                rk.earliest_rd()
+            };
+            let mut bus_free = data_bus_free;
+            if let Some(owner) = data_bus_owner {
+                if owner != r as u8 {
+                    bus_free += trtrs;
+                }
+            }
+            self.scratch
+                .rank_cas
+                .push(rank_ready.max(bus_free.saturating_sub(lat)));
+        }
+
+        // One contiguous scan over the lanes: the earliest-ACT floor per
+        // bank (Ps::MAX marks Active banks, which must precharge first).
+        self.scratch.act_floor.clear();
+        let phases = self.lanes.phase_lanes();
+        let acts = self.lanes.act_lanes();
+        let busys = self.lanes.busy_lanes();
+        for f in 0..phases.len() {
+            self.scratch.act_floor.push(match phases[f] {
+                BankPhase::Active => Ps::MAX,
+                BankPhase::Refreshing => busys[f].max(acts[f]),
+                BankPhase::Idle => acts[f],
+            });
+        }
+
+        let scope = self
+            .pending_refresh
+            .as_ref()
+            .map(|p| self.refresh_scope(&p.op));
+        let rows = self.lanes.row_lanes();
+        let cas_l = self.lanes.cas_lanes();
+        let pre_l = self.lanes.pre_lanes();
+        for (idx, e) in queue.iter().enumerate() {
+            let flat = self.flat(e.req.loc.bank_id());
+            if let Some((lo, hi)) = scope {
+                if flat >= lo && flat < hi {
+                    continue; // scope frozen until the refresh issues
+                }
+            }
+            let rank = e.req.loc.rank as usize;
+            let arr = e.req.arrival;
+            // `rows[flat]` folds the phase check into the row compare:
+            // the lane holds NO_ROW unless the bank is Active with a row
+            // latched, so one compare classifies hit vs conflict.
+            if rows[flat] == e.req.loc.row {
+                let t = self.align(cas_l[flat].max(self.scratch.rank_cas[rank]).max(arr));
+                Self::consider(Some((t, 1, Action::Cas { idx, flat })), &mut best);
+            } else if rows[flat] != NO_ROW {
+                let t = self.align(pre_l[flat].max(arr));
+                Self::consider(Some((t, 2, Action::Pre { idx, flat })), &mut best);
+            } else {
+                let act0 = self.scratch.act_floor[flat];
+                debug_assert_ne!(act0, Ps::MAX, "Active bank with no open row");
+                let t = self.align(act0.max(self.scratch.rank_act[rank]).max(arr));
+                Self::consider(Some((t, 2, Action::Act { idx, flat })), &mut best);
             }
         }
 
@@ -1116,12 +1365,32 @@ impl MemoryController {
     }
 
     fn execute(&mut self, action: Action, at: Ps) -> Result<(), DramError> {
+        // Every action mutates scheduling state; the memoized plan dies.
+        self.plan_cache = None;
         match action {
             Action::SelectRefresh => {
-                let snap = self.snapshot();
+                // Decision table: when neither `select` nor
+                // `try_postpone` reads queue occupancy the per-bank scan
+                // is dead work — hand over an empty snapshot instead
+                // (batched path only; the scalar reference keeps the
+                // pre-existing sequence verbatim).
+                let snap = if self.tick_path == TickPath::Batched && !self.policy_table.reads_queue
+                {
+                    QueueSnapshot {
+                        per_bank_queued: Vec::new(),
+                        utilization: self.last_utilization,
+                    }
+                } else {
+                    self.snapshot()
+                };
                 // Elastic-style policies may defer the refresh into a
                 // quieter moment (bounded internally); re-plan if so.
-                if self.policy.try_postpone(&snap, at) {
+                // Policies whose table says they never postpone skip the
+                // virtual probe on the batched path (it always answers
+                // `false`).
+                if (self.tick_path != TickPath::Batched || self.policy_table.postpones)
+                    && self.policy.try_postpone(&snap, at)
+                {
                     return Ok(());
                 }
                 let op = self.policy.select(&snap);
@@ -1144,7 +1413,7 @@ impl MemoryController {
                 });
             }
             Action::PreForRefresh { flat } => {
-                self.banks[flat].do_pre(at, &self.timing);
+                self.lanes.do_pre(flat, at, &self.timing);
                 let (r, b) = self.unflat(flat);
                 self.record(at, TraceCmd::Pre, r, b);
                 self.bump_cmd_bus(at);
@@ -1173,8 +1442,8 @@ impl MemoryController {
                     RefreshOp::AllBank { rows, .. } | RefreshOp::PerBank { rows, .. } => rows,
                 };
                 for f in lo..hi {
-                    self.banks[f].settle(at);
-                    self.banks[f].do_refresh(at, dur, rows);
+                    self.lanes.settle(f, at);
+                    self.lanes.do_refresh(f, at, dur, rows);
                 }
                 if let Some(t) = &mut self.integrity {
                     for f in lo..hi {
@@ -1216,13 +1485,13 @@ impl MemoryController {
                     };
                     q[idx].needed_pre = true;
                 }
-                self.banks[flat].do_pre(at, &self.timing);
+                self.lanes.do_pre(flat, at, &self.timing);
                 let (r, b) = self.unflat(flat);
                 self.record(at, TraceCmd::Pre, r, b);
                 self.bump_cmd_bus(at);
             }
             Action::Act { idx, flat } => {
-                self.banks[flat].settle(at);
+                self.lanes.settle(flat, at);
                 let serving_writes = self.draining || self.read_q.is_empty();
                 let (row, rank) = {
                     let q = if serving_writes {
@@ -1233,7 +1502,7 @@ impl MemoryController {
                     q[idx].needed_act = true;
                     (q[idx].req.loc.row, q[idx].req.loc.rank)
                 };
-                self.banks[flat].do_act(at, row, &self.timing);
+                self.lanes.do_act(flat, at, row, &self.timing);
                 self.ranks[rank as usize].on_act(at, &self.timing);
                 let (r, b) = self.unflat(flat);
                 self.record(at, TraceCmd::Act { row }, r, b);
@@ -1268,7 +1537,7 @@ impl MemoryController {
                     self.record(at, cmd, r, b);
                 }
                 let data_end = if entry.req.is_read() {
-                    let end = self.banks[flat].do_read(at, &self.timing);
+                    let end = self.lanes.do_read(flat, at, &self.timing);
                     self.stats.reads_completed += 1;
                     let latency = end - entry.req.arrival;
                     self.stats.read_latency_total += latency;
@@ -1280,7 +1549,7 @@ impl MemoryController {
                     });
                     end
                 } else {
-                    let end = self.banks[flat].do_write(at, &self.timing);
+                    let end = self.lanes.do_write(flat, at, &self.timing);
                     self.ranks[rank as usize].on_write(end, &self.timing);
                     self.stats.writes_completed += 1;
                     end

@@ -103,6 +103,15 @@ impl ControllerStats {
         self.refreshes_ab + self.refreshes_pb
     }
 
+    /// Completed DRAM commands of every kind the controller retires —
+    /// column accesses plus refreshes. The denominator for the
+    /// `ns_per_command` benchmark metric (wall time spent per retired
+    /// command), so the figure stays comparable across scenarios with
+    /// different read/write/refresh mixes.
+    pub fn commands_total(&self) -> u64 {
+        self.reads_completed + self.writes_completed + self.refreshes_ab + self.refreshes_pb
+    }
+
     /// Data-bus utilization over `elapsed` wall-clock simulation time.
     pub fn bus_utilization(&self, elapsed: Ps) -> f64 {
         if elapsed == Ps::ZERO {
@@ -152,6 +161,18 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.avg_read_latency(), Some(Ps::from_ns(100)));
+    }
+
+    #[test]
+    fn commands_total_spans_column_and_refresh_commands() {
+        let s = ControllerStats {
+            reads_completed: 4,
+            writes_completed: 3,
+            refreshes_ab: 2,
+            refreshes_pb: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.commands_total(), 14);
     }
 
     #[test]

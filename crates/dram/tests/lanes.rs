@@ -1,0 +1,212 @@
+//! Differential proof obligations for the batched SoA tick path.
+//!
+//! The batched channel tick (`TickPath::Batched`) — struct-of-arrays
+//! bank lanes, plan memoization, decision-table-gated policy hooks —
+//! is only allowed to exist because it is *bit-identical* to the
+//! scalar reference walk (`TickPath::ScalarReference`): same
+//! completion stream, same statistics, same checkpoint image, for
+//! every refresh policy under randomized request streams. This suite
+//! pins that equivalence at the controller level (the system-level
+//! pins live in `refsim-core`'s engine suite), including the
+//! `next_event_time` probe interleaving that exercises the plan memo
+//! and checkpoint round-trips that cross from one path to the other.
+
+use proptest::prelude::*;
+use refsim_dram::backend::TickPath;
+use refsim_dram::controller::{ControllerConfig, MemoryController};
+use refsim_dram::geometry::Geometry;
+use refsim_dram::mapping::{AddressMapping, MappingScheme};
+use refsim_dram::refresh::RefreshPolicyKind;
+use refsim_dram::request::{MemRequest, ReqId, ReqKind};
+use refsim_dram::time::Ps;
+use refsim_dram::timing::{Density, FgrMode, RefreshTiming, Retention, TimingParams};
+
+const ALL_POLICIES: [RefreshPolicyKind; 8] = [
+    RefreshPolicyKind::NoRefresh,
+    RefreshPolicyKind::AllBank,
+    RefreshPolicyKind::PerBankRoundRobin,
+    RefreshPolicyKind::PerBankSequential,
+    RefreshPolicyKind::OooPerBank,
+    RefreshPolicyKind::Fgr(FgrMode::X2),
+    RefreshPolicyKind::Adaptive,
+    RefreshPolicyKind::Elastic,
+];
+
+fn controller(policy: RefreshPolicyKind, path: TickPath) -> MemoryController {
+    let mapping = AddressMapping::new(Geometry::default(), MappingScheme::RowRankBankColumn);
+    let mut mc = MemoryController::new(
+        mapping,
+        TimingParams::ddr3_1600(),
+        RefreshTiming::scaled(Density::Gb32, Retention::Ms64, 1024),
+        policy,
+        ControllerConfig::default(),
+    );
+    mc.set_tick_path(path);
+    mc
+}
+
+fn req(mc: &MemoryController, id: u64, raw: u64, write: bool, at: Ps) -> MemRequest {
+    let paddr = raw.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((32u64 << 30) - 1) & !0x3f;
+    MemRequest {
+        id: ReqId(id),
+        kind: if write { ReqKind::Write } else { ReqKind::Read },
+        paddr,
+        loc: mc.mapping().decode(paddr),
+        arrival: at,
+        core: 0,
+        task: 0,
+    }
+}
+
+/// Drives `a` (batched) and `b` (scalar reference) in lockstep through
+/// the same request stream and time grid, asserting observable
+/// equality at every step. `probe` additionally interleaves
+/// `next_event_time` calls — the double-plan pattern the event-skip
+/// engine exhibits and the plan memo exists to absorb — which must be
+/// observation-only on both paths.
+fn drive_pair(
+    a: &mut MemoryController,
+    b: &mut MemoryController,
+    stream: &[(u64, bool)],
+    gap: Ps,
+    end: Ps,
+    probe: bool,
+) {
+    let mut t = Ps::ZERO;
+    let mut id = 0u64;
+    while t < end {
+        if probe {
+            assert_eq!(a.next_event_time(), b.next_event_time(), "probe at {t:?}");
+        }
+        a.advance_to(t);
+        b.advance_to(t);
+        let (raw, write) = stream[id as usize % stream.len()];
+        let ra = req(a, id, raw, write, t);
+        let rb = req(b, id, raw, write, t);
+        assert_eq!(
+            a.enqueue(ra).is_ok(),
+            b.enqueue(rb).is_ok(),
+            "accept at {t:?}"
+        );
+        assert_eq!(
+            a.drain_completions(),
+            b.drain_completions(),
+            "completions diverged at {t:?}"
+        );
+        id += 1;
+        t += gap;
+    }
+    a.advance_to(end);
+    b.advance_to(end);
+    assert_eq!(a.drain_completions(), b.drain_completions(), "final drain");
+    assert_eq!(a.stats(), b.stats(), "statistics diverged");
+    assert_eq!(a.save_state(), b.save_state(), "checkpoint image diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline equivalence: for every refresh policy, the batched
+    /// SoA tick reproduces the scalar reference walk bit for bit under
+    /// random request streams — completions, stats, and the full
+    /// checkpoint image.
+    #[test]
+    fn tick_paths_are_bit_identical_for_every_policy(
+        stream in prop::collection::vec((any::<u64>(), any::<bool>()), 20..60),
+        probe in any::<bool>(),
+    ) {
+        let end = Ps::from_us(200);
+        for policy in ALL_POLICIES {
+            let mut batched = controller(policy, TickPath::Batched);
+            let mut scalar = controller(policy, TickPath::ScalarReference);
+            drive_pair(&mut batched, &mut scalar, &stream, Ps::from_ns(350), end, probe);
+        }
+    }
+
+    /// Checkpoints cross tick paths: an image saved mid-run on one path
+    /// restores into a controller on the other path, and both resumed
+    /// halves stay bit-identical to the end. This is the guarantee that
+    /// lets a sweep mix paths without forking its cache namespace at
+    /// the state layer.
+    #[test]
+    fn checkpoints_cross_tick_paths(
+        stream in prop::collection::vec((any::<u64>(), any::<bool>()), 20..40),
+        swap in any::<bool>(),
+    ) {
+        let mid = Ps::from_us(80);
+        let end = Ps::from_us(180);
+        for policy in ALL_POLICIES {
+            let (first, second) = if swap {
+                (TickPath::ScalarReference, TickPath::Batched)
+            } else {
+                (TickPath::Batched, TickPath::ScalarReference)
+            };
+            // Run the first half on `first`, checkpoint, and restore the
+            // image into a fresh controller ticking on `second`.
+            let mut origin = controller(policy, first);
+            let mut t = Ps::ZERO;
+            let mut id = 0u64;
+            while t < mid {
+                origin.advance_to(t);
+                let (raw, write) = stream[id as usize % stream.len()];
+                let r = req(&origin, id, raw, write, t);
+                let _ = origin.enqueue(r);
+                let _ = origin.drain_completions();
+                id += 1;
+                t += Ps::from_ns(350);
+            }
+            origin.advance_to(mid);
+            let _ = origin.drain_completions();
+            let image = origin.save_state();
+
+            let mut resumed = controller(policy, second);
+            resumed.restore_state(&image).expect("cross-path restore");
+
+            // Both halves continue over the same residual stream.
+            while t < end {
+                origin.advance_to(t);
+                resumed.advance_to(t);
+                let (raw, write) = stream[id as usize % stream.len()];
+                let ro = req(&origin, id, raw, write, t);
+                let rr = req(&resumed, id, raw, write, t);
+                assert_eq!(origin.enqueue(ro).is_ok(), resumed.enqueue(rr).is_ok());
+                prop_assert_eq!(origin.drain_completions(), resumed.drain_completions());
+                id += 1;
+                t += Ps::from_ns(350);
+            }
+            origin.advance_to(end);
+            resumed.advance_to(end);
+            prop_assert_eq!(origin.drain_completions(), resumed.drain_completions());
+            prop_assert_eq!(origin.stats(), resumed.stats());
+            prop_assert_eq!(origin.save_state(), resumed.save_state());
+        }
+    }
+}
+
+/// Deterministic long-haul pin over every policy with the probe
+/// interleaving always on — the configuration most likely to expose a
+/// stale plan memo (every probe plans at the cursor; every enqueue and
+/// execute must invalidate).
+#[test]
+fn probed_long_run_agrees_for_every_policy() {
+    let stream: Vec<(u64, bool)> = (0..97)
+        .map(|i: u64| {
+            let x = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x, x & 0x100 != 0)
+        })
+        .collect();
+    for policy in ALL_POLICIES {
+        let mut batched = controller(policy, TickPath::Batched);
+        let mut scalar = controller(policy, TickPath::ScalarReference);
+        drive_pair(
+            &mut batched,
+            &mut scalar,
+            &stream,
+            Ps::from_ns(280),
+            Ps::from_us(400),
+            true,
+        );
+    }
+}

@@ -10,7 +10,7 @@
 //! `refsim-core` carries a calibration test asserting exactly that.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::{MemAccess, PatternKind, PatternState, SavedPattern};
@@ -410,6 +410,44 @@ impl TaskWorkload {
             }),
         }
     }
+
+    /// Bit-identical twin of [`TaskWorkload::next_op`] for the batched
+    /// hot path: same draws from the same stream in the same order, with
+    /// `gen_range`'s u128 modulo replaced by its u64 equivalent (the
+    /// remainder is identical for any span that fits in u64 — here
+    /// 1000), and marked `#[inline]` so the call dissolves into the
+    /// caller's loop. The stream-equivalence test below pins the
+    /// op-for-op identity, so the two generators may be interleaved
+    /// freely on one `TaskWorkload`.
+    #[inline]
+    pub fn next_op_fast(&mut self) -> Op {
+        let p = &self.profile;
+        self.mem_credit += 1000;
+        let non_mem = (self.mem_credit / p.mem_per_mille).saturating_sub(1);
+        self.mem_credit -= (non_mem + 1) * p.mem_per_mille;
+
+        let is_cold = ((self.rng.next_u64() % 1000) as u32) < p.cold_per_mille;
+        let write = ((self.rng.next_u64() % 1000) as u32) < p.write_per_mille;
+        let (vaddr, dependent) = if is_cold {
+            let (off, dep) = self.cold.next(&mut self.rng);
+            // Mirrors next_op's short-circuit: the dependence die is
+            // rolled only when the pattern marked the access dependent.
+            let dep = dep && ((self.rng.next_u64() % 1000) as u32) < p.dependent_per_mille;
+            (p.hot_bytes + off, dep && !write)
+        } else {
+            let off = self.hot_cursor;
+            self.hot_cursor = (self.hot_cursor + 8) % p.hot_bytes;
+            (off, false)
+        };
+        Op {
+            non_mem,
+            mem: Some(MemAccess {
+                vaddr,
+                write,
+                dependent,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +533,27 @@ mod tests {
             }
         }
         assert!(saw_dep, "mcf should issue dependent loads");
+    }
+
+    #[test]
+    fn fast_op_stream_is_bit_identical() {
+        // Every benchmark, interleaved calls included: the fast
+        // generator must consume the RNG stream exactly like the
+        // reference, or the batched core path would diverge.
+        for b in Benchmark::ALL {
+            let mut reference = TaskWorkload::new(b, 11);
+            let mut fast = TaskWorkload::new(b, 11);
+            for i in 0..50_000 {
+                let r = reference.next_op();
+                let f = if i % 3 == 0 {
+                    fast.next_op()
+                } else {
+                    fast.next_op_fast()
+                };
+                assert_eq!(r, f, "{b} diverged at op {i}");
+            }
+            assert_eq!(reference.save_state(), fast.save_state(), "{b}");
+        }
     }
 
     #[test]
