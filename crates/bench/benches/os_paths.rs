@@ -67,7 +67,7 @@ fn bench_scheduler(c: &mut Criterion) {
                 }
                 let mut picked = 0u64;
                 for round in 0..256u32 {
-                    let bank = Some(round % 16);
+                    let bank = BankVector::single(round % 16);
                     let id = s.pick_next(0, bank, &mut tasks).unwrap();
                     picked += u64::from(id.0);
                     s.requeue(&mut tasks[id.0 as usize], Ps::from_ms(4));

@@ -53,6 +53,28 @@ pub enum EngineKind {
     EventSkip,
 }
 
+/// How the per-channel memory backends are ticked inside one run (see
+/// DESIGN.md "Intra-run channel sharding").
+///
+/// Channels are independent between enqueue points — a channel's
+/// advance never reads core, scheduler, or sibling-channel state — so
+/// a span's per-channel ticks commute. `Channel` exploits that by
+/// fanning the per-step channel advances out over a scoped worker pool
+/// while completions, traces, and stats are still merged in strict
+/// channel order; results are bit-identical to `Serial` at any thread
+/// count (pinned by the engine-equivalence suite). `Serial` is kept as
+/// the correctness anchor, mirroring `TickPath::ScalarReference`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardMode {
+    /// Walk channels one after another on the calling thread.
+    #[default]
+    Serial,
+    /// Tick channels in parallel, one shard per channel, merged in
+    /// channel order. Falls back to the serial walk when the effective
+    /// worker count (or the channel count) is 1.
+    Channel,
+}
+
 /// Full system configuration.
 ///
 /// Build one from a preset and adjust fields with the `with_*` helpers:
@@ -151,6 +173,19 @@ pub struct SystemConfig {
     /// artifacts.
     #[serde(default)]
     pub tick_path: TickPath,
+    /// Intra-run channel-shard mode (see [`ShardMode`]). `Serial` by
+    /// default. The run cache salts its fingerprint with the mode (the
+    /// `TickPath` convention) but *not* with the thread count, because
+    /// sharded results are bit-identical at any thread count.
+    #[serde(default)]
+    pub shard: ShardMode,
+    /// Worker-thread budget for [`ShardMode::Channel`]; `None` shares
+    /// the sweep executor's budget (`REFSIM_THREADS`, else the host's
+    /// available parallelism). The effective shard count is additionally
+    /// capped at the channel count. Has no effect under
+    /// [`ShardMode::Serial`].
+    #[serde(default)]
+    pub shard_threads: Option<u32>,
 }
 
 impl SystemConfig {
@@ -187,6 +222,8 @@ impl SystemConfig {
             backend: BackendKind::Primary,
             shadow: ShadowConfig::default(),
             tick_path: TickPath::Batched,
+            shard: ShardMode::Serial,
+            shard_threads: None,
         }
     }
 
@@ -245,6 +282,30 @@ impl SystemConfig {
     /// Sets ranks per channel (2 per DIMM; §6.6 scales DIMMs/channel).
     pub fn with_ranks(mut self, ranks: u32) -> Self {
         self.ranks_per_channel = ranks;
+        self
+    }
+
+    /// Sets the memory-channel count. Channels are interleaved at page
+    /// granularity by the address mapping; each channel gets its own
+    /// independent controller running the same refresh policy, and the
+    /// refresh-aware co-design generalizes across them (one busy bank
+    /// per channel fed to Algorithm 3).
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Sets the intra-run channel-shard mode (see [`ShardMode`]).
+    pub fn with_shard(mut self, mode: ShardMode) -> Self {
+        self.shard = mode;
+        self
+    }
+
+    /// Selects [`ShardMode::Channel`] with an explicit worker-thread
+    /// budget (see [`SystemConfig::shard_threads`]).
+    pub fn with_shard_threads(mut self, threads: u32) -> Self {
+        self.shard = ShardMode::Channel;
+        self.shard_threads = Some(threads);
         self
     }
 
@@ -383,8 +444,8 @@ impl SystemConfig {
     /// # Errors
     ///
     /// Returns [`RefsimError::InvalidConfig`] describing the first
-    /// inconsistency (zero cores, refresh-aware scheduling over
-    /// multiple channels, bad geometry…), so sweep harnesses record a
+    /// inconsistency (zero cores, too many global banks for the
+    /// bank-vector word, bad geometry…), so sweep harnesses record a
     /// typed error row instead of parsing strings.
     pub fn validate(&self) -> Result<(), RefsimError> {
         let bad = |why: String| Err(RefsimError::InvalidConfig(why));
@@ -397,16 +458,23 @@ impl SystemConfig {
         self.timing_params()
             .validate()
             .map_err(RefsimError::InvalidConfig)?;
+        if self.total_banks() > 64 {
+            // `BankVector` (task exclusion windows, busy-bank sets) is a
+            // single u64 bitmask over *global* banks.
+            return bad(format!(
+                "{} global banks exceed the 64-bank BankVector word \
+                 (channels × ranks × 8); shrink the geometry",
+                self.total_banks()
+            ));
+        }
         if self.measure == Ps::ZERO {
             return bad("measure window must be non-empty".to_owned());
         }
         if self.step == Ps::ZERO {
             return bad("advancement step must be positive".to_owned());
         }
-        if matches!(self.sched_policy, SchedPolicy::RefreshAware { .. }) && self.channels != 1 {
-            return bad(
-                "refresh-aware scheduling is defined per channel; use channels = 1".to_owned(),
-            );
+        if self.shard_threads == Some(0) {
+            return bad("shard_threads must be >= 1 when set".to_owned());
         }
         if self.effective_timeslice() == Ps::ZERO {
             return bad("timeslice must be positive".to_owned());
@@ -512,12 +580,36 @@ mod tests {
     }
 
     #[test]
-    fn validate_catches_multichannel_refresh_aware() {
-        let mut c = SystemConfig::table1().co_design();
-        c.channels = 2;
+    fn multichannel_refresh_aware_is_allowed() {
+        // The co-design generalizes across channels (one busy bank per
+        // channel); multi-channel geometries validate up to the 64-bank
+        // BankVector word.
+        for channels in [2u32, 4] {
+            let c = SystemConfig::table1().co_design().with_channels(channels);
+            assert!(c.validate().is_ok(), "channels = {channels}");
+            assert_eq!(c.total_banks(), channels * 16);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_geometries_past_the_bankvector_word() {
+        // 8 channels × 2 ranks × 8 banks = 128 global banks > 64.
+        let c = SystemConfig::table1().with_channels(8);
         let e = c.validate().unwrap_err();
         assert!(matches!(e, RefsimError::InvalidConfig(_)), "{e:?}");
-        assert!(e.to_string().contains("channel"), "{e}");
+        assert!(e.to_string().contains("64-bank"), "{e}");
+        // 8 channels × 1 rank × 8 banks = 64 fits exactly.
+        let c = SystemConfig::table1().with_channels(8).with_ranks(1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_shard_threads() {
+        let mut c = SystemConfig::table1().with_shard_threads(1);
+        assert!(c.validate().is_ok());
+        c.shard_threads = Some(0);
+        let e = c.validate().unwrap_err();
+        assert!(e.to_string().contains("shard_threads"), "{e}");
     }
 
     #[test]

@@ -126,7 +126,34 @@ fn duplicated_erroring_cell_fans_out_the_error() {
 #[test]
 fn fingerprint_matches_golden_hash() {
     let job = tiny_job(0xA5A5);
-    assert_eq!(job_fingerprint(&job.cfg, &job.mix), 0x7432_0623_c394_ebfa);
+    assert_eq!(job_fingerprint(&job.cfg, &job.mix), 0xf07e_8b14_fc60_b119);
+}
+
+/// The shard *thread budget* is presentation/provisioning, not
+/// semantics: a sharded run is bit-identical at any worker count, so
+/// differently provisioned hosts must share cache artifacts.
+#[test]
+fn shard_thread_budget_is_not_fingerprinted() {
+    let base = tiny_job(7);
+    let sharded = base
+        .cfg
+        .clone()
+        .with_shard(refsim_core::config::ShardMode::Channel);
+    let threads_2 = sharded.clone().with_shard_threads(2);
+    let threads_8 = sharded.clone().with_shard_threads(8);
+    assert_ne!(
+        job_fingerprint(&base.cfg, &base.mix),
+        job_fingerprint(&sharded, &base.mix),
+        "shard mode is semantic-adjacent and must salt the fingerprint"
+    );
+    assert_eq!(
+        job_fingerprint(&sharded, &base.mix),
+        job_fingerprint(&threads_2, &base.mix)
+    );
+    assert_eq!(
+        job_fingerprint(&threads_2, &base.mix),
+        job_fingerprint(&threads_8, &base.mix)
+    );
 }
 
 proptest! {
@@ -134,7 +161,7 @@ proptest! {
 
     /// Any single semantic knob change must move the fingerprint.
     #[test]
-    fn fingerprint_tracks_every_semantic_knob(knob in 0usize..11, v in 1u64..1000) {
+    fn fingerprint_tracks_every_semantic_knob(knob in 0usize..12, v in 1u64..1000) {
         let base = tiny_job(9);
         let mut cfg = base.cfg.clone();
         match knob {
@@ -183,6 +210,14 @@ proptest! {
                 // them so an equivalence regression can never alias
                 // cache entries across the two paths.
                 cfg = cfg.with_tick_path(refsim_dram::backend::TickPath::ScalarReference);
+            }
+            11 => {
+                // Same rule for the shard-mode knob — the sharded and
+                // serial walks are bit-identical, but cached artifacts
+                // must never alias across them. The shard *thread
+                // budget* is intentionally NOT a knob here: results do
+                // not depend on it, so it stays out of the preimage.
+                cfg = cfg.with_shard(refsim_core::config::ShardMode::Channel);
             }
             _ => unreachable!(),
         }

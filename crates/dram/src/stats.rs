@@ -72,6 +72,34 @@ impl ControllerStats {
         *self = Self::default();
     }
 
+    /// Folds another channel's counters into this one for multi-channel
+    /// aggregation: counts and time totals add, worst-case fields take
+    /// the max. Accumulating a default (all-zero) value is the identity.
+    pub fn accumulate(&mut self, other: &ControllerStats) {
+        self.reads_enqueued += other.reads_enqueued;
+        self.writes_enqueued += other.writes_enqueued;
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.forwarded_reads += other.forwarded_reads;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.refreshes_ab += other.refreshes_ab;
+        self.refreshes_pb += other.refreshes_pb;
+        self.refresh_postpone_total += other.refresh_postpone_total;
+        self.refresh_postpone_max = self.refresh_postpone_max.max(other.refresh_postpone_max);
+        self.read_latency_total += other.read_latency_total;
+        self.read_latency_max = self.read_latency_max.max(other.read_latency_max);
+        self.refresh_blocked_reads += other.refresh_blocked_reads;
+        self.data_bus_busy += other.data_bus_busy;
+        self.queue_reject_reads += other.queue_reject_reads;
+        self.queue_reject_writes += other.queue_reject_writes;
+        self.write_drains += other.write_drains;
+        self.retention_violations += other.retention_violations;
+        self.injected_skip_faults += other.injected_skip_faults;
+        self.injected_delay_faults += other.injected_delay_faults;
+    }
+
     /// Average read latency, or `None` if no read completed.
     pub fn avg_read_latency(&self) -> Option<Ps> {
         let n = self.reads_completed.saturating_sub(self.forwarded_reads);

@@ -157,22 +157,74 @@ fn boundary_locations(g: &Geometry) -> Vec<Location> {
         .filter(|&r| r < g.rows_per_bank)
         .collect();
     rows.dedup();
-    for rank in [0, g.ranks_per_channel - 1] {
-        for bank in [0, g.banks_per_rank - 1] {
-            for &row in &rows {
-                for col in [0, g.lines_per_row() - 1] {
-                    out.push(Location {
-                        channel: 0,
-                        rank: rank as u8,
-                        bank: bank as u8,
-                        row,
-                        col,
-                    });
+    let mut channels = vec![0, g.channels - 1];
+    channels.dedup();
+    for channel in channels {
+        for rank in [0, g.ranks_per_channel - 1] {
+            for bank in [0, g.banks_per_rank - 1] {
+                for &row in &rows {
+                    for col in [0, g.lines_per_row() - 1] {
+                        out.push(Location {
+                            channel: channel as u8,
+                            rank: rank as u8,
+                            bank: bank as u8,
+                            row,
+                            col,
+                        });
+                    }
                 }
             }
         }
     }
     out
+}
+
+/// A multi-channel variant of the DDR3 preset for channel-interleaving
+/// edge tests.
+fn multi_channel(channels: u32, rows_per_bank: u32) -> Geometry {
+    Geometry {
+        channels,
+        ..Geometry::ddr3_2rank_8bank(rows_per_bank)
+    }
+}
+
+/// Multi-channel geometries must round-trip at every boundary location
+/// of every channel — first/last channel × rank × bank × row × column —
+/// under every scheme, for both 2- and 4-channel machines (the shapes
+/// the sharded engine runs). Includes the non-pow2-rows wrap geometry.
+#[test]
+fn multi_channel_boundaries_round_trip_and_never_alias() {
+    for channels in [2u32, 4] {
+        for rows in [384 * 1024, 512 * 1024, 1] {
+            let g = multi_channel(channels, rows);
+            assert!(
+                g.validate().is_ok(),
+                "{channels}-channel preset must be valid"
+            );
+            for scheme in SCHEMES {
+                let m = AddressMapping::new(g, scheme);
+                let locs = boundary_locations(&g);
+                for loc in &locs {
+                    let addr = m.encode(*loc);
+                    assert_eq!(
+                        m.decode(addr),
+                        *loc,
+                        "{scheme:?} ch={channels} rows={rows} did not round-trip"
+                    );
+                    assert_eq!(addr % u64::from(g.line_bytes), 0);
+                }
+                for (i, a) in locs.iter().enumerate() {
+                    for b in &locs[i + 1..] {
+                        assert_ne!(
+                            m.encode(*a),
+                            m.encode(*b),
+                            "{scheme:?} ch={channels} aliased {a:?} and {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[test]

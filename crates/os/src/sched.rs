@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use refsim_dram::time::Ps;
 
+use crate::bank_alloc::BankVector;
 use crate::cfs::{CfsRunqueue, SavedRunqueue};
 use crate::task::{Task, TaskId, TaskState};
 
@@ -68,7 +69,7 @@ pub struct SchedStats {
 /// let mut sched = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 2);
 /// let mut t = Task::new(TaskId(0), "mcf", 0, BankVector::all(16), 16);
 /// sched.enqueue(&mut t);
-/// let picked = sched.pick_next(0, None, &mut [t]);
+/// let picked = sched.pick_next(0, BankVector::EMPTY, &mut [t]);
 /// assert_eq!(picked, Some(TaskId(0)));
 /// ```
 #[derive(Debug, Clone)]
@@ -132,15 +133,17 @@ impl Scheduler {
 
     /// Picks the next task for `cpu` (Algorithm 3 when refresh-aware).
     ///
-    /// `refresh_bank` is the global bank the hardware will refresh during
-    /// the upcoming quantum, when the refresh schedule makes that
-    /// predictable (the co-design exposure; `None` under conventional
-    /// schedules). The picked task is removed from the queue and marked
-    /// [`TaskState::Running`].
+    /// `refresh_banks` is the set of global banks the hardware will
+    /// refresh during the upcoming quantum — at most one bank per
+    /// channel, populated only when the refresh schedule makes the bank
+    /// predictable (the co-design exposure; empty under conventional
+    /// schedules). At one channel this degenerates to the paper's
+    /// single-bank Algorithm 3 exactly. The picked task is removed from
+    /// the queue and marked [`TaskState::Running`].
     pub fn pick_next(
         &mut self,
         cpu: u32,
-        refresh_bank: Option<u32>,
+        refresh_banks: BankVector,
         tasks: &mut [Task],
     ) -> Option<TaskId> {
         self.stats.picks += 1;
@@ -148,25 +151,23 @@ impl Scheduler {
         if rq.is_empty() {
             return None;
         }
-        let chosen = match (self.policy, refresh_bank) {
-            (SchedPolicy::Cfs, _) | (SchedPolicy::RefreshAware { .. }, None) => {
+        let chosen = match self.policy {
+            SchedPolicy::Cfs => {
                 // Emptiness was checked above; treat a desynchronized
                 // queue as "nothing runnable" instead of aborting.
                 rq.leftmost()?
             }
-            (
-                SchedPolicy::RefreshAware {
-                    eta_thresh,
-                    best_effort,
-                },
-                Some(bank),
-            ) => {
+            SchedPolicy::RefreshAware { .. } if refresh_banks.is_empty() => rq.leftmost()?,
+            SchedPolicy::RefreshAware {
+                eta_thresh,
+                best_effort,
+            } => {
                 // Algorithm 3: walk candidates left-to-right; take the
-                // first whose possible_banks_vector excludes the bank to
-                // be refreshed; after η candidates, fall back.
+                // first whose possible_banks_vector excludes every bank
+                // being refreshed; after η candidates, fall back.
                 let mut first_entity = None;
                 let mut found = None;
-                let mut best: Option<(u64, TaskId)> = None; // (bytes on bank, id)
+                let mut best: Option<(u64, TaskId)> = None; // (bytes on busy banks, id)
                 let mut examined = 0;
                 for (_, id) in rq.iter() {
                     let t = &tasks[id.0 as usize];
@@ -174,11 +175,11 @@ impl Scheduler {
                     if first_entity.is_none() {
                         first_entity = Some(id);
                     }
-                    if t.avoids_bank(bank) {
+                    if t.avoids_banks(refresh_banks) {
                         found = Some(id);
                         break;
                     }
-                    let bytes = t.bytes_on_bank(bank);
+                    let bytes = t.bytes_on_banks(refresh_banks);
                     if best.is_none_or(|(bb, _)| bytes < bb) {
                         best = Some((bytes, id));
                     }
@@ -324,7 +325,7 @@ mod tests {
         }
         let mut order = Vec::new();
         for _ in 0..6 {
-            let id = s.pick_next(0, None, &mut tasks).unwrap();
+            let id = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
             order.push(id.0);
             let slice = s.timeslice();
             s.requeue(&mut tasks[id.0 as usize], slice);
@@ -348,12 +349,12 @@ mod tests {
         }
         // Bank 0 will refresh: task 1 must be chosen although task 0 is
         // leftmost.
-        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::single(0), &mut tasks).unwrap();
         assert_eq!(id, TaskId(1));
         assert_eq!(s.stats().refresh_dodges, 1);
         // Without a predictable refresh bank, leftmost wins.
         s.requeue(&mut tasks[1], Ps::from_ms(4));
-        let id = s.pick_next(0, None, &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
         assert_eq!(id, TaskId(0));
     }
 
@@ -373,7 +374,7 @@ mod tests {
         for t in &mut tasks {
             s.enqueue(t);
         }
-        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::single(0), &mut tasks).unwrap();
         assert_eq!(id, TaskId(0), "fairness fallback to leftmost");
         assert_eq!(s.stats().eta_fallbacks, 1);
     }
@@ -392,7 +393,7 @@ mod tests {
         for t in &mut tasks {
             s.enqueue(t);
         }
-        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::single(0), &mut tasks).unwrap();
         assert_eq!(id, TaskId(2), "least bytes on the refreshing bank");
     }
 
@@ -413,14 +414,14 @@ mod tests {
         }
         // η = 1: examine one candidate (the leftmost, which collides) and
         // immediately fall back to it.
-        let id = s.pick_next(0, Some(0), &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::single(0), &mut tasks).unwrap();
         assert_eq!(id, TaskId(0));
     }
 
     #[test]
     fn empty_queue_returns_none() {
         let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 2);
-        assert_eq!(s.pick_next(1, None, &mut []), None);
+        assert_eq!(s.pick_next(1, BankVector::EMPTY, &mut []), None);
     }
 
     #[test]
@@ -429,17 +430,17 @@ mod tests {
         let mut tasks = mk_tasks(2, 0, &[BankVector::all(16)]);
         s.enqueue(&mut tasks[0]);
         // Task 0 runs for a long time.
-        let id = s.pick_next(0, None, &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
         s.requeue(&mut tasks[id.0 as usize], Ps::from_ms(400));
         // A newly woken task starts at the queue floor (task 0's new
         // vruntime), not at zero — so it cannot monopolize the CPU; the
         // two tasks tie and then alternate.
         s.enqueue(&mut tasks[1]);
         assert_eq!(tasks[1].vruntime, Ps::from_ms(400));
-        let first = s.pick_next(0, None, &mut tasks).unwrap();
+        let first = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
         assert_eq!(first, TaskId(0), "tie broken by id");
         s.requeue(&mut tasks[0], Ps::from_ms(4));
-        let second = s.pick_next(0, None, &mut tasks).unwrap();
+        let second = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
         assert_eq!(second, TaskId(1));
     }
 
@@ -479,7 +480,11 @@ mod tests {
         }
         let mut prev = 0;
         for q in 0..64u32 {
-            let bank = if q % 5 == 0 { None } else { Some(q % 8) };
+            let bank = if q % 5 == 0 {
+                BankVector::EMPTY
+            } else {
+                BankVector::single(q % 8)
+            };
             let id = s.pick_next(0, bank, &mut tasks).unwrap();
             let st = s.stats();
             assert!(st.eta_fallbacks >= prev, "counter must be monotone");
@@ -525,7 +530,9 @@ mod tests {
         }
         let mut last = vec![0u32; eta as usize];
         for q in 1..=256u32 {
-            let id = s.pick_next(0, Some(q % 16), &mut tasks).unwrap();
+            let id = s
+                .pick_next(0, BankVector::single(q % 16), &mut tasks)
+                .unwrap();
             let gap = q - last[id.0 as usize];
             assert!(
                 gap <= eta,
@@ -547,9 +554,9 @@ mod tests {
         let mut s = Scheduler::new(SchedPolicy::Cfs, Ps::from_ms(4), 1);
         let mut tasks = mk_tasks(1, 0, &[BankVector::all(16)]);
         s.enqueue(&mut tasks[0]);
-        let id = s.pick_next(0, None, &mut tasks).unwrap();
+        let id = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
         s.block(&mut tasks[id.0 as usize], Ps::from_ms(1));
         assert_eq!(tasks[0].state, TaskState::Blocked);
-        assert_eq!(s.pick_next(0, None, &mut tasks), None);
+        assert_eq!(s.pick_next(0, BankVector::EMPTY, &mut tasks), None);
     }
 }

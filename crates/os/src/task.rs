@@ -109,6 +109,18 @@ impl Task {
     pub fn avoids_bank(&self, bank: u32) -> bool {
         !self.possible_banks.contains(bank) && self.bytes_on_bank(bank) == 0
     }
+
+    /// Bytes this task has allocated across every bank in `banks`.
+    pub fn bytes_on_banks(&self, banks: BankVector) -> u64 {
+        banks.iter().map(|b| self.bytes_on_bank(b)).sum()
+    }
+
+    /// [`Task::avoids_bank`] lifted to a busy-bank *set* — one global
+    /// bank per channel under a multi-channel refresh schedule. The
+    /// task dodges the quantum only if it dodges every busy bank.
+    pub fn avoids_banks(&self, banks: BankVector) -> bool {
+        self.possible_banks.bits() & banks.bits() == 0 && self.bytes_on_banks(banks) == 0
+    }
 }
 
 #[cfg(test)]

@@ -241,7 +241,7 @@ proptest! {
             s.enqueue(t);
         }
         for _ in 0..(rounds * n_tasks) {
-            let id = s.pick_next(0, None, &mut tasks).unwrap();
+            let id = s.pick_next(0, BankVector::EMPTY, &mut tasks).unwrap();
             s.requeue(&mut tasks[id.0 as usize], slice);
         }
         for t in &tasks {
@@ -273,7 +273,9 @@ proptest! {
             s.enqueue(t);
         }
         let someone_avoids = tasks.iter().any(|t| t.avoids_bank(bank));
-        let id = s.pick_next(0, Some(bank), &mut tasks).unwrap();
+        let id = s
+            .pick_next(0, BankVector::single(bank), &mut tasks)
+            .unwrap();
         if someone_avoids {
             prop_assert!(
                 tasks[id.0 as usize].avoids_bank(bank),
